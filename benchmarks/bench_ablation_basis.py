@@ -1,0 +1,93 @@
+"""ABL-BASIS: standard tensor basis vs nonstandard decomposition.
+
+The conclusion asks whether transforms other than the (standard-basis)
+wavelets used in the paper could do better for range-sums.  The nonstandard
+multiresolution decomposition is the leading candidate from the
+wavelet-compression literature; this ablation measures the quantity that
+decides the question — rewritten-query sparsity, hence retrievals — on the
+same workloads, for both bases.
+
+Expected outcome (and the paper's implicit design choice): the standard
+basis needs O(log^d N) coefficients per range, the nonstandard basis
+O(range-extent), so standard wins and the gap widens with the domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch import BatchBiggestB
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.queries.workload import partition_count_batch, random_rectangles
+from repro.storage.nonstandard_store import NonstandardWaveletStorage
+from repro.storage.wavelet_store import WaveletStorage
+
+
+def test_basis_sparsity_sweep(report, benchmark):
+    rng = np.random.default_rng(21)
+
+    def sweep():
+        rows = []
+        for n in (32, 64, 128):
+            data = rng.random((n, n))
+            std = WaveletStorage.build(data, wavelet="haar")
+            ns = NonstandardWaveletStorage.build(data, wavelet="haar")
+            rects = random_rectangles((n, n), 8, rng=rng, min_extent=n // 4)
+            batch = QueryBatch([VectorQuery.count(r) for r in rects])
+            std_ev = BatchBiggestB(std, batch)
+            ns_ev = BatchBiggestB(ns, batch)
+            agree = bool(
+                np.allclose(std_ev.run(), ns_ev.run(), rtol=1e-8, atol=1e-8)
+            )
+            rows.append(
+                (
+                    n,
+                    std_ev.master_list_size,
+                    ns_ev.master_list_size,
+                    ns_ev.master_list_size / std_ev.master_list_size,
+                    agree,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'domain':>8} {'standard I/O':>13} {'nonstandard I/O':>16} {'ratio':>7} {'agree?':>7}"
+    ]
+    for n, std_io, ns_io, ratio, agree in rows:
+        lines.append(
+            f"{n}x{n:<5} {std_io:>13,} {ns_io:>16,} {ratio:>7.2f} {str(agree):>7}"
+        )
+    report("ABL-BASIS standard vs nonstandard basis (Section 7's question)", lines)
+
+    for _, std_io, ns_io, _, agree in rows:
+        assert agree
+        assert std_io <= ns_io
+    # The gap widens with the domain size.
+    assert rows[0][3] < rows[-1][3]
+
+
+def test_basis_partition_batch(report, benchmark):
+    """Same comparison on the partition workload of Section 6."""
+    rng = np.random.default_rng(4)
+    n = 64
+    data = rng.random((n, n))
+    batch = partition_count_batch((n, n), (8, 8), rng=rng)
+
+    def run_both():
+        std_ev = BatchBiggestB(WaveletStorage.build(data, wavelet="haar"), batch)
+        ns_ev = BatchBiggestB(
+            NonstandardWaveletStorage.build(data, wavelet="haar"), batch
+        )
+        return std_ev, ns_ev
+
+    std_ev, ns_ev = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    np.testing.assert_allclose(std_ev.run(), ns_ev.run(), rtol=1e-8)
+    report(
+        "ABL-BASIS 64-cell partition",
+        [
+            f"standard basis master list:    {std_ev.master_list_size:,}",
+            f"nonstandard basis master list: {ns_ev.master_list_size:,}",
+        ],
+    )
+    assert std_ev.master_list_size <= ns_ev.master_list_size

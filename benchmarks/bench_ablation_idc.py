@@ -1,0 +1,87 @@
+"""ABL-IDC: the Iterative Data Cube trade-off under Batch-Biggest-B.
+
+Section 1.2: "any Iterative Data Cube [12] is a linear storage/evaluation
+strategy", so the progressive engine runs over all of them.  This ablation
+sweeps the blocked-prefix-sum block size — the canonical IDC knob trading
+query cost against update cost — on one partition batch, and places the
+wavelet strategy on the same axes.  The wavelet store is the only strategy
+with polylogarithmic costs on *both* axes, which is the paper's argument
+for preferring it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch import BatchBiggestB
+from repro.queries.workload import partition_count_batch
+from repro.storage.local_prefix_sum import LocalPrefixSumStorage
+from repro.storage.wavelet_store import WaveletStorage
+from repro.util import log2_int
+
+SHAPE = (64, 64)
+CELLS = (8, 8)
+BLOCKS = (1, 4, 16, 64)
+
+
+def test_idc_query_update_tradeoff(report, benchmark):
+    rng = np.random.default_rng(6)
+    data = rng.random(SHAPE)
+    batch = partition_count_batch(SHAPE, CELLS, rng=rng)
+    exact = batch.exact_dense(data)
+
+    def sweep():
+        rows = []
+        for block in BLOCKS:
+            storage = LocalPrefixSumStorage.build(data, block_size=block)
+            ev = BatchBiggestB(storage, batch)
+            answers = ev.run()
+            rows.append(
+                (
+                    f"local-prefix b={block}",
+                    ev.master_list_size,
+                    storage.update_cost(),
+                    bool(np.allclose(answers, exact, atol=1e-8)),
+                )
+            )
+        wavelet = WaveletStorage.build(data, wavelet="haar")
+        # Stream one tuple in first: the wavelet store supports cheap
+        # updates, and the batch must see the inserted tuple exactly.
+        update = wavelet.insert((0, 0))
+        ev = BatchBiggestB(wavelet, batch)
+        answers = ev.run()
+        rows.append(
+            (
+                "wavelet haar",
+                ev.master_list_size,
+                update,
+                bool(np.allclose(answers, exact + _count_delta(batch), atol=1e-6)),
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'strategy':>20} {'shared query I/O':>17} {'update cost':>12} {'exact?':>7}"]
+    for name, query_cost, update_cost, ok in rows:
+        lines.append(f"{name:>20} {query_cost:>17,} {update_cost:>12,} {str(ok):>7}")
+        assert ok
+    report("ABL-IDC query/update trade-off (Section 1.2, IDC [12])", lines)
+
+    # The IDC trade-off: query cost falls and update cost rises with the
+    # block size; the wavelet strategy is polylog on both axes.
+    local = rows[: len(BLOCKS)]
+    for (na, qa, ua, _), (nb, qb, ub, _) in zip(local, local[1:]):
+        assert qa >= qb
+        assert ua <= ub
+    wavelet_row = rows[-1]
+    polylog = (3 * (log2_int(64) + 1)) ** 2
+    assert wavelet_row[2] <= polylog
+
+
+def _count_delta(batch) -> np.ndarray:
+    """Per-query effect of inserting one tuple at the origin."""
+    out = np.zeros(batch.size)
+    for i, q in enumerate(batch):
+        if q.rect.contains((0, 0)):
+            out[i] = 1.0
+    return out

@@ -1,0 +1,76 @@
+"""ABL-LAYOUT: coefficient disk layouts under batch workloads (Section 7).
+
+The conclusion asks for "optimal disk layout strategies for wavelet data".
+This ablation evaluates three layouts (flat C-order, level-major, Z-order
+interleaved) by the number of blocks a batch's master list touches at
+several block sizes.
+
+Finding worth recording: because rewritten queries are *tensor products* of
+per-dimension sparse supports, the flat C-order layout already clusters a
+query's keys (same dim-0 position, adjacent dim-1 positions are contiguous)
+— level-major regrouping does not automatically win.  The bench prints the
+full table so the trade-off is visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch import BatchBiggestB
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.queries.workload import partition_count_batch, random_rectangles
+from repro.storage.layout import layout_cost_table
+from repro.storage.wavelet_store import WaveletStorage
+
+SHAPE = (64, 64)
+BLOCK_SIZES = (4, 16, 64)
+
+
+def _master_keys(batch, data):
+    storage = WaveletStorage.build(data, wavelet="haar")
+    return BatchBiggestB(storage, batch).plan.keys
+
+
+def test_layout_cost_table(report, benchmark):
+    rng = np.random.default_rng(8)
+    data = rng.random(SHAPE)
+    workloads = {
+        "2 random rects": QueryBatch(
+            [VectorQuery.count(r) for r in random_rectangles(SHAPE, 2, rng=rng)]
+        ),
+        "16 random rects": QueryBatch(
+            [VectorQuery.count(r) for r in random_rectangles(SHAPE, 16, rng=rng)]
+        ),
+        "64-cell partition": partition_count_batch(SHAPE, (8, 8), rng=rng),
+    }
+
+    def build_tables():
+        out = {}
+        for name, batch in workloads.items():
+            keys = _master_keys(batch, data)
+            out[name] = (keys.size, layout_cost_table(keys, SHAPE, BLOCK_SIZES))
+        return out
+
+    tables = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+    lines = []
+    for name, (nkeys, table) in tables.items():
+        lines.append(f"workload: {name} ({nkeys} master keys)")
+        lines.append(
+            f"  {'layout':>12} " + " ".join(f"{f'bs={b}':>8}" for b in BLOCK_SIZES)
+        )
+        for layout, costs in table.items():
+            lines.append(
+                f"  {layout:>12} "
+                + " ".join(f"{costs[b]:>8,}" for b in BLOCK_SIZES)
+            )
+    report("ABL-LAYOUT blocks touched per layout (Section 7 future work)", lines)
+
+    # Invariants: larger blocks never touch more blocks; every cost is at
+    # least the pigeonhole minimum and at most the key count.
+    for name, (nkeys, table) in tables.items():
+        for layout, costs in table.items():
+            sizes = sorted(costs)
+            for a, b in zip(sizes, sizes[1:]):
+                assert costs[a] >= costs[b]
+            for b in sizes:
+                assert -(-nkeys // b) <= costs[b] <= nkeys

@@ -1,0 +1,114 @@
+"""ABL-PEN: the penalty-function zoo and the Theorem 1/2 guarantees.
+
+Sections 4-5 claim the framework accepts *any* structural error penalty
+(quadratic forms, Lp norms, combinations) and that the biggest-B progression
+carries a computable worst-case bound (Theorem 1) and expected-penalty
+estimate (Theorem 2).  This ablation runs one batch under the whole penalty
+zoo, checking exactness and the bound, and validates the Theorem 2
+expectation by Monte Carlo over sphere-uniform data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch import BatchBiggestB
+from repro.core.penalties import (
+    CombinedPenalty,
+    CursoredSsePenalty,
+    LaplacianPenalty,
+    LpPenalty,
+    QuadraticFormPenalty,
+    SsePenalty,
+)
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.queries.workload import random_rectangles
+from repro.storage.wavelet_store import WaveletStorage
+
+
+def _zoo(batch_size: int, rng: np.random.Generator):
+    m = rng.normal(size=(batch_size, batch_size))
+    return {
+        "sse": SsePenalty(),
+        "cursored": CursoredSsePenalty(batch_size, high_priority=[0, 1], high_weight=10),
+        "laplacian": LaplacianPenalty.chain(batch_size),
+        "quadratic-form": QuadraticFormPenalty(m.T @ m),
+        "L1": LpPenalty(1.0),
+        "Linf": LpPenalty(np.inf),
+        "combined": CombinedPenalty(
+            [(1.0, SsePenalty()), (0.5, LaplacianPenalty.chain(batch_size))]
+        ),
+    }
+
+
+def test_penalty_zoo_bounds(report, benchmark, rng=None):
+    rng = np.random.default_rng(77)
+    data = rng.random((32, 32))
+    storage = WaveletStorage.build(data, wavelet="db2")
+    rects = random_rectangles((32, 32), 8, rng=rng)
+    batch = QueryBatch([VectorQuery.count(r) for r in rects])
+    exact = batch.exact_dense(data)
+
+    def run_zoo():
+        rows = []
+        for name, penalty in _zoo(batch.size, rng).items():
+            evaluator = BatchBiggestB(storage, batch, penalty=penalty)
+            b = evaluator.master_list_size // 4
+            _, snaps = evaluator.run_progressive([b])
+            observed = penalty(snaps[0] - exact)
+            bound = evaluator.worst_case_bound(b)
+            expected = (
+                evaluator.expected_penalty(b) if penalty.is_quadratic else float("nan")
+            )
+            final = BatchBiggestB(storage, batch, penalty=penalty).run()
+            rows.append((name, observed, bound, expected, final))
+        return rows
+
+    rows = benchmark.pedantic(run_zoo, rounds=1, iterations=1)
+    lines = [
+        f"{'penalty':>15} {'observed@B/4':>14} {'Thm1 bound':>12} {'Thm2 E[p]':>12} {'exact?':>6}"
+    ]
+    for name, observed, bound, expected, final in rows:
+        ok = bool(np.allclose(final, exact, atol=1e-8))
+        lines.append(
+            f"{name:>15} {observed:>14.3e} {bound:>12.3e} {expected:>12.3e} {str(ok):>6}"
+        )
+        assert ok
+        assert observed <= bound * (1 + 1e-9) + 1e-12
+    report("ABL-PEN penalty zoo: exactness and Theorem-1 bounds", lines)
+
+
+def test_theorem2_monte_carlo(report, benchmark):
+    """E[p(error)] over sphere-uniform data matches trace(R)/(N^d - 1)."""
+    rng = np.random.default_rng(5)
+    shape = (8, 8)
+    rects = random_rectangles(shape, 5, rng=rng)
+    batch = QueryBatch([VectorQuery.count(r) for r in rects])
+    penalty = SsePenalty()
+    b = 10
+    samples = 300
+
+    def monte_carlo():
+        observed = []
+        predicted = None
+        for _ in range(samples):
+            vec = rng.normal(size=shape)
+            vec /= np.linalg.norm(vec)
+            storage = WaveletStorage.build(vec, wavelet="haar")
+            ev = BatchBiggestB(storage, batch, penalty=penalty)
+            if predicted is None:
+                predicted = ev.expected_penalty(b)
+            _, snaps = ev.run_progressive([b])
+            observed.append(penalty(snaps[0] - batch.exact_dense(vec)))
+        return float(np.mean(observed)), predicted
+
+    mean_observed, predicted = benchmark.pedantic(monte_carlo, rounds=1, iterations=1)
+    report(
+        "ABL-PEN Theorem 2 Monte Carlo",
+        [
+            f"predicted expected SSE after {b} retrievals: {predicted:.4e}",
+            f"observed mean over {samples} sphere samples:  {mean_observed:.4e}",
+            f"ratio: {mean_observed / predicted:.3f} (should be ~1)",
+        ],
+    )
+    assert 0.75 < mean_observed / predicted < 1.33

@@ -1,0 +1,110 @@
+"""ABL-STRAT: linear storage strategies and wavelet families.
+
+Section 1.2 observes that Batch-Biggest-B runs over *any* linear storage
+strategy.  This ablation compares wavelet, prefix-sum and identity storage
+on the same partition batch (retrievals, exactness), and sweeps the wavelet
+family (haar/db2/db3/db4) to show the query-sparsity cost of longer filters
+— the reason the paper matches the filter length to the polynomial degree
+(2*delta + 2) instead of always using long filters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch import BatchBiggestB
+from repro.queries.workload import partition_count_batch
+from repro.storage.identity import IdentityStorage
+from repro.storage.prefix_sum import PrefixSumStorage
+from repro.storage.wavelet_store import WaveletStorage
+
+
+SHAPE = (64, 64)
+CELLS = (8, 8)
+
+
+def _setup(seed: int = 3):
+    rng = np.random.default_rng(seed)
+    data = rng.random(SHAPE)
+    batch = partition_count_batch(SHAPE, CELLS, rng=rng)
+    return data, batch
+
+
+def test_strategy_comparison(report, benchmark):
+    data, batch = _setup()
+    exact = batch.exact_dense(data)
+    strategies = [
+        WaveletStorage.build(data, wavelet="haar"),
+        PrefixSumStorage.build(data),
+        IdentityStorage.build(data),
+    ]
+
+    def evaluate_all():
+        rows = []
+        for storage in strategies:
+            storage.reset_stats()
+            ev = BatchBiggestB(storage, batch)
+            answers = ev.run()
+            rows.append(
+                (
+                    storage.strategy_name,
+                    ev.master_list_size,
+                    ev.unshared_retrievals,
+                    bool(np.allclose(answers, exact, atol=1e-8)),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+    lines = [f"{'strategy':>11} {'shared I/O':>11} {'unshared I/O':>13} {'exact?':>7}"]
+    for name, shared, unshared, ok in rows:
+        lines.append(f"{name:>11} {shared:>11,} {unshared:>13,} {str(ok):>7}")
+        assert ok
+    report("ABL-STRAT linear storage strategies (64x64, 64-cell partition)", lines)
+
+    by_name = {r[0]: r for r in rows}
+    # Prefix sums are the cheapest exact strategy for COUNT partitions;
+    # wavelets beat raw data by a wide margin; identity has no sharing.
+    assert by_name["prefix-sum"][1] <= by_name["wavelet"][1]
+    assert by_name["wavelet"][1] < by_name["identity"][1]
+    assert by_name["identity"][1] == by_name["identity"][2]
+
+
+def test_wavelet_family_sweep(report, benchmark):
+    data, batch = _setup(seed=4)
+    exact = batch.exact_dense(data)
+
+    def sweep():
+        rows = []
+        for name in ("haar", "db2", "db3", "db4"):
+            storage = WaveletStorage.build(data, wavelet=name)
+            ev = BatchBiggestB(storage, batch)
+            answers = ev.run()
+            rows.append(
+                (
+                    name,
+                    storage.filter.length,
+                    ev.master_list_size,
+                    ev.unshared_retrievals,
+                    bool(np.allclose(answers, exact, atol=1e-7)),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'filter':>8} {'taps':>5} {'shared I/O':>11} {'unshared I/O':>13} {'exact?':>7}"
+    ]
+    for name, taps, shared, unshared, ok in rows:
+        lines.append(f"{name:>8} {taps:>5} {shared:>11,} {unshared:>13,} {str(ok):>7}")
+        assert ok
+    report("ABL-STRAT wavelet family sweep (COUNT batch)", lines)
+
+    # Longer filters cost more I/O on indicator queries: the reason degree-0
+    # batches use Haar and degree-delta batches use 2*delta + 2 taps.
+    shared_by_taps = [(r[1], r[2]) for r in rows]
+    for (taps_a, shared_a), (taps_b, shared_b) in zip(
+        shared_by_taps, shared_by_taps[1:]
+    ):
+        assert taps_a < taps_b
+        assert shared_a <= shared_b

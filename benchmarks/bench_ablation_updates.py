@@ -1,0 +1,82 @@
+"""ABL-UPDATE: streaming insert cost vs the dense rebuild alternative.
+
+Sections 2.1 and 3.1 claim tuple inserts cost ``O((2*delta + 1)**d log**d
+N)`` coefficient updates in the wavelet representation, which is what makes
+it "competitive with the best known pre-aggregation techniques".  This
+ablation measures the touched-coefficient counts and wall-clock of a
+streaming insert across dimensionalities and filters, against rebuilding
+the transform from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.wavelet_store import WaveletStorage
+from repro.util import log2_int
+from repro.wavelets.point import point_tensor
+from repro.wavelets.transform import wavedec_nd
+
+
+CASES = [
+    ((64, 64), "haar"),
+    ((64, 64), "db2"),
+    ((16, 16, 16), "haar"),
+    ((16, 16, 16), "db2"),
+    ((8, 8, 8, 8), "db2"),
+    ((8, 16, 8, 16, 8), "db2"),
+]
+
+
+def test_insert_touched_coefficients(report, benchmark):
+    rng = np.random.default_rng(2)
+    lines = [
+        f"{'domain':>20} {'filter':>7} {'touched':>9} {'bound':>9} {'domain size':>12}"
+    ]
+    tensors = benchmark.pedantic(
+        lambda: [
+            point_tensor(filt, shape, tuple(int(rng.integers(0, s)) for s in shape))
+            for shape, filt in CASES
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    for (shape, filt), tensor in zip(CASES, tensors):
+        taps = 2 if filt == "haar" else 4
+        # Per-dimension coefficient count is at most ~(window+1)*(levels+1).
+        window = taps + 1
+        bound = int(
+            np.prod([(window + 1) * (log2_int(s) + 1) for s in shape])
+        )
+        size = int(np.prod(shape))
+        lines.append(
+            f"{str(shape):>20} {filt:>7} {tensor.nnz:>9,} {bound:>9,} {size:>12,}"
+        )
+        assert tensor.nnz <= bound
+        assert tensor.nnz < size / 2
+    report("ABL-UPDATE touched coefficients per tuple insert", lines)
+
+
+@pytest.mark.parametrize("shape,filt", [((64, 64), "db2"), ((16, 16, 16), "db2")])
+def test_streaming_insert_speed(benchmark, shape, filt):
+    storage = WaveletStorage.empty(shape, wavelet=filt)
+    rng = np.random.default_rng(0)
+    coords = [tuple(int(rng.integers(0, s)) for s in shape) for _ in range(64)]
+    it = iter(range(10**9))
+
+    def insert():
+        return storage.insert(coords[next(it) % len(coords)])
+
+    touched = benchmark(insert)
+    assert touched > 0
+
+
+@pytest.mark.parametrize("shape", [(64, 64), (16, 16, 16)])
+def test_dense_rebuild_speed(benchmark, shape):
+    """The alternative to streaming: retransform the whole dense cube."""
+    rng = np.random.default_rng(0)
+    data = rng.random(shape)
+
+    result = benchmark(lambda: wavedec_nd(data, "db2"))
+    assert result.shape == tuple(shape)

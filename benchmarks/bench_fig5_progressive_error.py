@@ -1,0 +1,65 @@
+"""FIG5: progressive mean relative error vs retrievals (Observation 2).
+
+Paper (Figure 5): with the SSE-minimizing progression over the 512-query
+temperature batch, the mean relative error falls below 1% after retrieving
+only 128 wavelet coefficients — less than one retrieval per query — and
+keeps falling on a log-log straight-ish path until the exact answer at
+57,456 retrievals.
+
+This bench regenerates the same series (mean relative error at log-spaced
+retrieval counts) for the synthetic substitute.  The absolute speed of
+convergence depends on how concentrated the dataset's wavelet spectrum is
+(the paper's real field converges faster; see EXPERIMENTS.md); the shape —
+monotone-trending log-log decay to exactly zero at the master list — is the
+reproduced claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import mean_relative_error_curve
+
+
+def test_fig5_mean_relative_error_curve(section6, report, benchmark):
+    evaluator = section6.evaluator
+    exact = section6.exact
+    master = evaluator.master_list_size
+    checkpoints = np.unique(
+        np.concatenate(
+            [
+                np.geomspace(1, master, 25).astype(int),
+                [128, 512, master // 2, master],
+            ]
+        )
+    )
+
+    def progression():
+        return evaluator.run_progressive(checkpoints)
+
+    cks, snaps = benchmark.pedantic(progression, rounds=1, iterations=1)
+    mre = mean_relative_error_curve(snaps, exact)
+
+    lines = [f"{'retrieved':>10} {'per query':>10} {'mean rel. error':>16}"]
+    for b, e in zip(cks, mre):
+        lines.append(f"{int(b):>10} {b / section6.batch.size:>10.3f} {e:>16.3e}")
+    lines.append("paper: <1% after 128 retrievals (0.25 per query); exact at 57,456")
+    report("FIG5 progressive mean relative error (paper Figure 5)", lines)
+
+    # Shape assertions: large early error, steadily better best-so-far,
+    # accurate well before exhaustion, exactly zero at the end.
+    best = np.minimum.accumulate(mre)
+    one_per_query = np.searchsorted(cks, section6.batch.size)
+    assert best[one_per_query] < best[0] / 2
+    half = np.searchsorted(cks, master // 2)
+    # The synthetic data converges slower in absolute terms than the
+    # paper's real field (see EXPERIMENTS.md): accurate to ~10% by half the
+    # master list, a few percent by ~60%, exact at the end.
+    assert best[half] < 0.10
+    assert best[-2] < 0.05
+    assert mre[-1] < 1e-9
+    # Log-log decay: each decade of retrievals improves the best error.
+    for lo, hi in [(10, 100), (100, 1000), (1000, 10000)]:
+        i, j = np.searchsorted(cks, [lo, hi])
+        if j < len(best):
+            assert best[j] <= best[i]

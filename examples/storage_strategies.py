@@ -1,0 +1,74 @@
+"""One batch, three linear storage strategies (Section 1.2's observation).
+
+Batch-Biggest-B only needs a linear transform with a left inverse, so the
+same progressive engine runs over a wavelet store, a prefix-sum cube, and
+raw untransformed data.  This example evaluates an identical partition
+batch against all three and compares retrieval counts, update costs, and
+progressiveness.
+
+Run:  python examples/storage_strategies.py
+"""
+
+import numpy as np
+
+from repro import (
+    BatchBiggestB,
+    IdentityStorage,
+    PrefixSumStorage,
+    QueryBatch,
+    VectorQuery,
+    WaveletStorage,
+    uniform_dataset,
+)
+from repro.queries.workload import random_partition
+
+
+def main() -> None:
+    shape = (64, 64)
+    relation = uniform_dataset(shape, n_records=40_000, seed=13)
+    delta = relation.frequency_distribution()
+
+    cells = random_partition(shape, (8, 8), rng=np.random.default_rng(5))
+    batch = QueryBatch(
+        [VectorQuery.count(c, label=f"cell{i}") for i, c in enumerate(cells)]
+    )
+
+    strategies = [
+        WaveletStorage.build(delta, wavelet="haar"),
+        PrefixSumStorage.build(delta),
+        IdentityStorage.build(delta),
+    ]
+
+    print(f"{batch.size}-cell partition COUNT batch over a {shape} domain\n")
+    header = (
+        f"{'strategy':>11} | {'shared I/O':>10} {'unshared I/O':>12} "
+        f"{'exact?':>6} {'progressive?':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    exact = batch.exact_dense(delta)
+    for storage in strategies:
+        evaluator = BatchBiggestB(storage, batch)
+        answers = evaluator.run()
+        ok = bool(np.allclose(answers, exact))
+        # "Progressive" is meaningful when the rewrite is much smaller than
+        # the data: wavelets and prefix-sums qualify, raw data does not.
+        progressive = evaluator.master_list_size < delta.size / 4
+        print(
+            f"{storage.strategy_name:>11} | {evaluator.master_list_size:10d} "
+            f"{evaluator.unshared_retrievals:12d} {str(ok):>6} "
+            f"{str(progressive):>12}"
+        )
+
+    # Update costs: wavelets take polylog updates; prefix sums do not.
+    wavelet_store = strategies[0]
+    touched = wavelet_store.insert((10, 20))
+    print(f"\nwavelet store: inserting one tuple touched {touched} coefficients "
+          f"of {delta.size} (polylogarithmic)")
+    print("prefix-sum store: one insert would touch O(N^d) prefix cells "
+          "(every corner above the tuple) — the update-cost trade-off the "
+          "paper cites for preferring wavelets")
+
+
+if __name__ == "__main__":
+    main()

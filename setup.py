@@ -1,0 +1,4 @@
+"""Setup shim for environments whose pip cannot build PEP 517 editable wheels."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""Baseline evaluators: the competitors of Section 6.
+
+* :class:`RoundRobinEvaluator` — "s instances of the single query evaluation
+  technique, advanced in a round-robin fashion" (Section 2.2): each query is
+  its own single-query biggest-B (ProPolyne) progression; nothing is shared,
+  so a coefficient used by ``m`` queries is retrieved ``m`` times.
+* :class:`NaiveScanEvaluator` — answering the batch directly from the
+  relation: one scan of every record (the "15.7 million records would need
+  to be scanned" comparison of Observation 1).
+* :func:`exact_answers` — dense brute force, the test oracle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.queries.vector_query import QueryBatch
+from repro.storage.base import LinearStorage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.relation import Relation
+
+
+def exact_answers(data: np.ndarray, batch: QueryBatch) -> np.ndarray:
+    """Brute-force answers against a dense data distribution."""
+    return batch.exact_dense(np.asarray(data, dtype=np.float64))
+
+
+class RoundRobinEvaluator:
+    """Independent per-query progressive evaluation, no I/O sharing."""
+
+    def __init__(self, storage: LinearStorage, batch: QueryBatch) -> None:
+        self.storage = storage
+        self.batch = batch
+        self.rewrites = [storage.rewrite(q) for q in batch]
+        # Single-query biggest-B: each query orders its own coefficients by
+        # |q_hat|**2 (its private SSE importance), descending.
+        self._orders = [
+            np.lexsort((r.indices, -(r.values**2))) for r in self.rewrites
+        ]
+
+    @property
+    def total_retrievals(self) -> int:
+        """Retrievals to answer every query exactly (duplicates included)."""
+        return int(sum(r.indices.size for r in self.rewrites))
+
+    def run(self) -> np.ndarray:
+        """Exact answers; each query fetches its own support."""
+        answers = np.zeros(self.batch.size)
+        for i, r in enumerate(self.rewrites):
+            coeffs = self.storage.store.fetch(r.indices)
+            answers[i] = float(coeffs @ r.values)
+        return answers
+
+    def run_progressive(
+        self, checkpoints: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Round-robin progression: snapshots after ``B`` total retrievals.
+
+        Retrieval ``t`` advances query ``t mod s`` by one coefficient of its
+        private biggest-B order (skipping exhausted queries).  Returns the
+        clipped checkpoint array and the estimates matrix.
+        """
+        total = self.total_retrievals
+        checkpoints = np.unique(
+            np.clip(np.asarray(checkpoints, dtype=np.int64), 0, total)
+        )
+        # Global round-robin order: sort all (within-query rank, query id).
+        qids = np.concatenate(
+            [np.full(r.indices.size, i, dtype=np.int64) for i, r in enumerate(self.rewrites)]
+        )
+        ranks = np.concatenate(
+            [np.empty(0, dtype=np.int64)]
+            + [_inverse_permutation(order) for order in self._orders]
+        )
+        contribs = np.concatenate(
+            [
+                np.asarray(r.values, dtype=np.float64)
+                * self.storage.store.fetch(r.indices)
+                for r in self.rewrites
+            ]
+        )
+        global_order = np.lexsort((qids, ranks))
+        qid_sorted = qids[global_order]
+        contrib_sorted = contribs[global_order]
+        estimates = np.zeros(self.batch.size)
+        out = np.zeros((checkpoints.size, self.batch.size))
+        prev = 0
+        for i, b in enumerate(checkpoints):
+            edge = int(b)
+            if edge > prev:
+                estimates += np.bincount(
+                    qid_sorted[prev:edge],
+                    weights=contrib_sorted[prev:edge],
+                    minlength=self.batch.size,
+                )
+                prev = edge
+            out[i] = estimates
+        return checkpoints, out
+
+
+def _inverse_permutation(order: np.ndarray) -> np.ndarray:
+    inv = np.empty(order.size, dtype=np.int64)
+    inv[order] = np.arange(order.size, dtype=np.int64)
+    return inv
+
+
+class NaiveScanEvaluator:
+    """Answer a batch by scanning every record of the relation."""
+
+    def __init__(self, relation: "Relation", batch: QueryBatch) -> None:
+        self.relation = relation
+        self.batch = batch
+
+    @property
+    def scan_cost(self) -> int:
+        """Records touched: one full scan answers the whole batch."""
+        return self.relation.num_records
+
+    def run(self) -> np.ndarray:
+        """Exact answers by a single pass over the records."""
+        records = self.relation.records.astype(np.float64)
+        answers = np.zeros(self.batch.size)
+        for i, q in enumerate(self.batch):
+            mask = q.rect.contains_many(self.relation.records)
+            if np.any(mask):
+                answers[i] = float(np.sum(q.polynomial.evaluate(records[mask])))
+        return answers

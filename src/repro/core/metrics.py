@@ -1,0 +1,73 @@
+"""Error metrics used by the paper's evaluation plots.
+
+* Figure 5 plots *mean relative error* of the progressive estimates;
+* Figures 6-7 plot *normalized* penalties: the penalty of the error vector
+  divided by the same penalty applied to the exact result vector (the paper:
+  "Normalized SSE is the SSE divided by the sum of square query results").
+
+Empty cells (exact answer zero) carry no meaningful relative error; they are
+excluded from the mean, matching how relative error is conventionally
+reported for aggregate queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.penalties import Penalty
+
+
+def mean_relative_error(estimates: np.ndarray, exact: np.ndarray) -> float:
+    """Mean of ``|estimate - exact| / |exact|`` over cells with exact != 0.
+
+    Returns 0.0 when every exact answer is zero and matched exactly, and
+    ``inf`` when a zero-answer cell was estimated as nonzero but no nonzero
+    cells exist to average over.
+    """
+    estimates = np.asarray(estimates, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if estimates.shape != exact.shape:
+        raise ValueError("estimates and exact answers must align")
+    nonzero = exact != 0.0
+    if not np.any(nonzero):
+        return 0.0 if np.allclose(estimates, 0.0) else float("inf")
+    return float(
+        np.mean(np.abs(estimates[nonzero] - exact[nonzero]) / np.abs(exact[nonzero]))
+    )
+
+
+def mean_relative_error_curve(
+    snapshots: np.ndarray, exact: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`mean_relative_error` for a matrix of snapshots."""
+    snapshots = np.asarray(snapshots, dtype=np.float64)
+    return np.array([mean_relative_error(row, exact) for row in snapshots])
+
+
+def normalized_penalty(
+    penalty: Penalty, estimates: np.ndarray, exact: np.ndarray
+) -> float:
+    """``p(estimate - exact) / p(exact)`` — the paper's normalized penalty."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if estimates.shape != exact.shape:
+        raise ValueError("estimates and exact answers must align")
+    denom = penalty(exact)
+    if denom == 0.0:
+        raise ValueError("exact result vector has zero penalty; cannot normalize")
+    return float(penalty(estimates - exact) / denom)
+
+
+def normalized_penalty_curve(
+    penalty: Penalty, snapshots: np.ndarray, exact: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`normalized_penalty` for a matrix of snapshots."""
+    snapshots = np.asarray(snapshots, dtype=np.float64)
+    return np.array([normalized_penalty(penalty, row, exact) for row in snapshots])
+
+
+def normalized_sse(estimates: np.ndarray, exact: np.ndarray) -> float:
+    """Normalized SSE: SSE divided by the sum of square query results."""
+    from repro.core.penalties import SsePenalty
+
+    return normalized_penalty(SsePenalty(), estimates, exact)

@@ -1,0 +1,484 @@
+"""Structural error penalty functions (Section 4).
+
+Definition 2: a *structural error penalty function* is a non-negative,
+homogeneous, convex, even function ``p`` of the error vector with
+``p(0) = 0``.  The special case of a *quadratic* penalty is a PSD quadratic
+form ``p(e) = e^T A e``.
+
+Definition 3 ties penalties to progression orders: the importance of a
+wavelet ``xi`` is the penalty applied to the column of query coefficients,
+
+    iota_p(xi) = p(q0_hat[xi], ..., q_{s-1}_hat[xi]),
+
+so every penalty here doubles as an importance function.  The
+``importance_entries`` method evaluates ``iota_p`` for *every* master-list
+key at once from the flattened (key, query, value) entry arrays that
+:class:`~repro.core.plan.QueryPlan` maintains — the batch sizes in the
+paper's experiments make a per-key Python loop infeasible.
+
+Quadratic penalties are represented by a factor matrix ``M`` with
+``p(e) = ||M e||**2`` (so ``A = M^T M`` is automatically PSD).  All the
+paper's examples have *sparse* factors — identity for SSE, diagonal for
+cursored SSE, the banded graph Laplacian for the local-extrema penalty —
+which keeps the vectorized importance computation linear in the number of
+plan entries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+
+class Penalty(ABC):
+    """A structural error penalty function, usable as an importance function."""
+
+    #: Degree of homogeneity alpha: p(c*e) == |c|**alpha * p(e).
+    homogeneity: float = 2.0
+
+    @abstractmethod
+    def __call__(self, error: np.ndarray) -> float:
+        """Evaluate the penalty on an error vector."""
+
+    def column_importance(self, column: np.ndarray) -> float:
+        """``iota_p`` of one dense coefficient column (Definition 3)."""
+        return self(np.asarray(column, dtype=np.float64))
+
+    @abstractmethod
+    def importance_entries(
+        self,
+        entry_key_pos: np.ndarray,
+        entry_qid: np.ndarray,
+        entry_val: np.ndarray,
+        num_keys: int,
+        batch_size: int,
+    ) -> np.ndarray:
+        """``iota_p`` for every key of a plan, from flattened entries.
+
+        ``entry_key_pos[e]`` is the key index, ``entry_qid[e]`` the query
+        index, and ``entry_val[e]`` the coefficient ``q_hat[qid][key]`` of
+        entry ``e``.  Returns an array of length ``num_keys``.
+        """
+
+    @property
+    def is_quadratic(self) -> bool:
+        """True if the penalty is a PSD quadratic form (Theorem 2 applies)."""
+        return isinstance(self, QuadraticPenalty)
+
+
+class QuadraticPenalty(Penalty):
+    """``p(e) = ||M e||**2`` for a (sparse) factor matrix ``M``.
+
+    The factor is stored column-compressed: column ``q`` of ``M`` occupies
+    ``rows[col_ptr[q]:col_ptr[q+1]]`` / ``vals[col_ptr[q]:col_ptr[q+1]]``.
+    """
+
+    homogeneity = 2.0
+
+    def __init__(
+        self,
+        batch_size: int,
+        num_rows: int,
+        col_ptr: np.ndarray,
+        rows: np.ndarray,
+        vals: np.ndarray,
+    ) -> None:
+        self.batch_size = int(batch_size)
+        self.num_rows = int(num_rows)
+        self.col_ptr = np.asarray(col_ptr, dtype=np.int64)
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.vals = np.asarray(vals, dtype=np.float64)
+        if self.col_ptr.shape != (self.batch_size + 1,):
+            raise ValueError("col_ptr must have batch_size + 1 entries")
+        if self.rows.shape != self.vals.shape:
+            raise ValueError("rows and vals must align")
+
+    @classmethod
+    def from_factor(cls, factor: np.ndarray, tol: float = 0.0) -> "QuadraticPenalty":
+        """Build from a dense factor matrix ``M`` (``p(e) = ||M e||**2``)."""
+        factor = np.asarray(factor, dtype=np.float64)
+        if factor.ndim != 2:
+            raise ValueError("factor must be a matrix")
+        num_rows, batch_size = factor.shape
+        col_ptr = [0]
+        rows: list[int] = []
+        vals: list[float] = []
+        for q in range(batch_size):
+            col = factor[:, q]
+            nz = np.nonzero(np.abs(col) > tol)[0]
+            rows.extend(int(r) for r in nz)
+            vals.extend(float(col[r]) for r in nz)
+            col_ptr.append(len(rows))
+        return cls(
+            batch_size=batch_size,
+            num_rows=num_rows,
+            col_ptr=np.array(col_ptr),
+            rows=np.array(rows, dtype=np.int64),
+            vals=np.array(vals, dtype=np.float64),
+        )
+
+    def factor_dense(self) -> np.ndarray:
+        """Materialize ``M`` densely (tests and small batches)."""
+        out = np.zeros((self.num_rows, self.batch_size))
+        for q in range(self.batch_size):
+            sl = slice(self.col_ptr[q], self.col_ptr[q + 1])
+            out[self.rows[sl], q] = self.vals[sl]
+        return out
+
+    def form_matrix(self) -> np.ndarray:
+        """The PSD form ``A = M^T M`` (dense; tests and Theorem 2 checks)."""
+        factor = self.factor_dense()
+        return factor.T @ factor
+
+    def __call__(self, error: np.ndarray) -> float:
+        error = np.asarray(error, dtype=np.float64)
+        if error.shape != (self.batch_size,):
+            raise ValueError(f"expected an error vector of length {self.batch_size}")
+        out = np.zeros(self.num_rows)
+        for q in np.nonzero(error)[0]:
+            sl = slice(self.col_ptr[q], self.col_ptr[q + 1])
+            out[self.rows[sl]] += self.vals[sl] * error[q]
+        return float(np.sum(out * out))
+
+    def importance_entries(
+        self,
+        entry_key_pos: np.ndarray,
+        entry_qid: np.ndarray,
+        entry_val: np.ndarray,
+        num_keys: int,
+        batch_size: int,
+    ) -> np.ndarray:
+        if batch_size != self.batch_size:
+            raise ValueError(
+                f"penalty was built for batches of {self.batch_size}, got {batch_size}"
+            )
+        entry_key_pos = np.asarray(entry_key_pos, dtype=np.int64)
+        entry_qid = np.asarray(entry_qid, dtype=np.int64)
+        entry_val = np.asarray(entry_val, dtype=np.float64)
+        # Expand each entry e into the nonzeros of M's column entry_qid[e]:
+        # contribution M[r, q_e] * v_e accumulates into (key_e, r), and
+        # iota(key) = sum_r (accumulated[key, r])**2.
+        counts = (self.col_ptr[entry_qid + 1] - self.col_ptr[entry_qid]).astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(num_keys)
+        rep = np.repeat(np.arange(entry_qid.size), counts)
+        starts = self.col_ptr[entry_qid]
+        before = np.cumsum(counts) - counts
+        offsets = np.repeat(starts, counts) + np.arange(total) - np.repeat(before, counts)
+        contrib = self.vals[offsets] * entry_val[rep]
+        combo = entry_key_pos[rep] * np.int64(self.num_rows) + self.rows[offsets]
+        uniq, inverse = np.unique(combo, return_inverse=True)
+        sums = np.bincount(inverse, weights=contrib, minlength=uniq.size)
+        return np.bincount(
+            (uniq // self.num_rows).astype(np.int64),
+            weights=sums * sums,
+            minlength=num_keys,
+        )
+
+
+class SsePenalty(QuadraticPenalty):
+    """Sum of square errors: ``p(e) = sum |e_i|**2`` (penalty P1).
+
+    The identity factor is implicit, so one instance works for any batch
+    size.  For matrix-level introspection (``form_matrix`` etc.) use
+    ``WeightedSsePenalty(np.ones(batch_size))`` instead.
+    """
+
+    def __init__(self) -> None:
+        pass
+
+    def factor_dense(self) -> np.ndarray:
+        raise NotImplementedError(
+            "SsePenalty is batch-size agnostic; use WeightedSsePenalty(np.ones(s))"
+        )
+
+    def __call__(self, error: np.ndarray) -> float:
+        error = np.asarray(error, dtype=np.float64)
+        return float(np.sum(error * error))
+
+    def importance_entries(
+        self, entry_key_pos, entry_qid, entry_val, num_keys, batch_size
+    ) -> np.ndarray:
+        entry_key_pos = np.asarray(entry_key_pos, dtype=np.int64)
+        entry_val = np.asarray(entry_val, dtype=np.float64)
+        return np.bincount(entry_key_pos, weights=entry_val**2, minlength=num_keys)
+
+
+class WeightedSsePenalty(QuadraticPenalty):
+    """``p(e) = sum w_i |e_i|**2`` with non-negative weights."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise ValueError("weights must be a vector")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        self.weights = weights
+        idx = np.arange(weights.size, dtype=np.int64)
+        super().__init__(
+            batch_size=weights.size,
+            num_rows=weights.size,
+            col_ptr=np.arange(weights.size + 1, dtype=np.int64),
+            rows=idx,
+            vals=np.sqrt(weights),
+        )
+
+    def __call__(self, error: np.ndarray) -> float:
+        error = np.asarray(error, dtype=np.float64)
+        if error.shape != self.weights.shape:
+            raise ValueError(f"expected an error vector of length {self.weights.size}")
+        return float(np.sum(self.weights * error * error))
+
+    def importance_entries(
+        self, entry_key_pos, entry_qid, entry_val, num_keys, batch_size
+    ) -> np.ndarray:
+        if batch_size != self.weights.size:
+            raise ValueError(
+                f"penalty was built for batches of {self.weights.size}, got {batch_size}"
+            )
+        entry_key_pos = np.asarray(entry_key_pos, dtype=np.int64)
+        entry_qid = np.asarray(entry_qid, dtype=np.int64)
+        entry_val = np.asarray(entry_val, dtype=np.float64)
+        return np.bincount(
+            entry_key_pos,
+            weights=self.weights[entry_qid] * entry_val**2,
+            minlength=num_keys,
+        )
+
+
+class CursoredSsePenalty(WeightedSsePenalty):
+    """Penalty P2: high-priority cells weighted more than the rest.
+
+    "Minimize a cursored sum of square errors that makes the high-priority
+    cells (say) 10 times more important than the other cells" — Section 4.
+    """
+
+    def __init__(
+        self,
+        batch_size: int,
+        high_priority: Sequence[int],
+        high_weight: float = 10.0,
+        low_weight: float = 1.0,
+    ) -> None:
+        weights = np.full(int(batch_size), float(low_weight))
+        high = np.asarray(list(high_priority), dtype=np.int64)
+        if high.size and (high.min() < 0 or high.max() >= batch_size):
+            raise ValueError("high-priority index outside the batch")
+        weights[high] = float(high_weight)
+        super().__init__(weights)
+        self.high_priority = frozenset(int(i) for i in high)
+
+
+class LaplacianPenalty(QuadraticPenalty):
+    """Penalty P3: SSE of the discrete Laplacian of the result vector.
+
+    Penalizes false local extrema: ``p(e) = ||L e||**2`` where ``L`` is the
+    graph Laplacian of a neighbor structure on the batch's queries.
+    """
+
+    def __init__(self, laplacian: np.ndarray) -> None:
+        laplacian = np.asarray(laplacian, dtype=np.float64)
+        if laplacian.ndim != 2 or laplacian.shape[0] != laplacian.shape[1]:
+            raise ValueError("laplacian must be square")
+        penalty = QuadraticPenalty.from_factor(laplacian)
+        super().__init__(
+            batch_size=penalty.batch_size,
+            num_rows=penalty.num_rows,
+            col_ptr=penalty.col_ptr,
+            rows=penalty.rows,
+            vals=penalty.vals,
+        )
+
+    @classmethod
+    def chain(cls, batch_size: int) -> "LaplacianPenalty":
+        """Path-graph Laplacian: queries in reading order are neighbors."""
+        if batch_size < 2:
+            raise ValueError("chain Laplacian needs at least two queries")
+        lap = np.zeros((batch_size, batch_size))
+        for i in range(batch_size - 1):
+            lap[i, i] += 1.0
+            lap[i + 1, i + 1] += 1.0
+            lap[i, i + 1] -= 1.0
+            lap[i + 1, i] -= 1.0
+        return cls(lap)
+
+    @classmethod
+    def grid(cls, grid_shape: Sequence[int]) -> "LaplacianPenalty":
+        """Grid-graph Laplacian for queries arranged as a C-order grid."""
+        grid_shape = tuple(int(g) for g in grid_shape)
+        size = int(np.prod(grid_shape))
+        lap = np.zeros((size, size))
+        for flat in range(size):
+            coords = np.unravel_index(flat, grid_shape)
+            for d, g in enumerate(grid_shape):
+                if coords[d] + 1 < g:
+                    nb = list(coords)
+                    nb[d] += 1
+                    other = int(np.ravel_multi_index(nb, grid_shape))
+                    lap[flat, flat] += 1.0
+                    lap[other, other] += 1.0
+                    lap[flat, other] -= 1.0
+                    lap[other, flat] -= 1.0
+        return cls(lap)
+
+    @classmethod
+    def from_edges(cls, batch_size: int, edges: Sequence[tuple[int, int]]) -> "LaplacianPenalty":
+        """Laplacian of an arbitrary neighbor graph over query indices."""
+        lap = np.zeros((int(batch_size), int(batch_size)))
+        for a, b in edges:
+            if a == b:
+                raise ValueError("self-loops are not allowed")
+            lap[a, a] += 1.0
+            lap[b, b] += 1.0
+            lap[a, b] -= 1.0
+            lap[b, a] -= 1.0
+        return cls(lap)
+
+
+class DifferencePenalty(QuadraticPenalty):
+    """SSE of neighboring-cell differences: ``p(e) = sum (e_i - e_j)**2``.
+
+    The introduction's motivating structural error: a user hunting for
+    "large cell to cell changes in a measure" cares about the error of the
+    *differences* between neighboring results, not the absolute values.
+    ``p(e) = ||D e||**2`` where ``D`` maps results to neighbor differences.
+    A constant offset on every result is free (the penalty is semi-definite
+    — precisely the flexibility Definition 2 calls out).
+    """
+
+    def __init__(self, batch_size: int, edges: Sequence[tuple[int, int]] | None = None) -> None:
+        batch_size = int(batch_size)
+        if batch_size < 2:
+            raise ValueError("difference penalty needs at least two queries")
+        if edges is None:
+            edges = [(i, i + 1) for i in range(batch_size - 1)]
+        rows_count = len(edges)
+        diff = np.zeros((rows_count, batch_size))
+        for r, (a, b) in enumerate(edges):
+            if a == b:
+                raise ValueError("self-differences are not allowed")
+            if not (0 <= a < batch_size and 0 <= b < batch_size):
+                raise ValueError(f"edge ({a}, {b}) outside the batch")
+            diff[r, a] = 1.0
+            diff[r, b] = -1.0
+        penalty = QuadraticPenalty.from_factor(diff)
+        super().__init__(
+            batch_size=penalty.batch_size,
+            num_rows=penalty.num_rows,
+            col_ptr=penalty.col_ptr,
+            rows=penalty.rows,
+            vals=penalty.vals,
+        )
+        self.edges = tuple((int(a), int(b)) for a, b in edges)
+
+
+class QuadraticFormPenalty(QuadraticPenalty):
+    """An arbitrary PSD quadratic form ``p(e) = e^T A e``.
+
+    The factor ``M`` with ``A = M^T M`` is recovered by eigendecomposition;
+    tiny negative eigenvalues from roundoff are clipped to zero, and truly
+    negative ones are rejected (the form must be positive semi-definite —
+    Definition 2 requires it, and Theorems 1-2 rely on it).
+    """
+
+    def __init__(self, form: np.ndarray, eig_tol: float = 1e-10) -> None:
+        form = np.asarray(form, dtype=np.float64)
+        if form.ndim != 2 or form.shape[0] != form.shape[1]:
+            raise ValueError("form must be a square matrix")
+        if not np.allclose(form, form.T, atol=1e-10):
+            raise ValueError("form must be symmetric (Hermitian)")
+        eigvals, eigvecs = np.linalg.eigh(form)
+        scale = max(1.0, float(np.max(np.abs(eigvals))))
+        if np.any(eigvals < -eig_tol * scale):
+            raise ValueError("form must be positive semi-definite")
+        eigvals = np.clip(eigvals, 0.0, None)
+        factor = (np.sqrt(eigvals)[:, None]) * eigvecs.T
+        penalty = QuadraticPenalty.from_factor(factor, tol=1e-14)
+        super().__init__(
+            batch_size=penalty.batch_size,
+            num_rows=penalty.num_rows,
+            col_ptr=penalty.col_ptr,
+            rows=penalty.rows,
+            vals=penalty.vals,
+        )
+        self.form = form
+
+    def __call__(self, error: np.ndarray) -> float:
+        error = np.asarray(error, dtype=np.float64)
+        return float(error @ self.form @ error)
+
+
+class LpPenalty(Penalty):
+    """The Lp norm as a penalty (Corollary 1), homogeneous of degree 1."""
+
+    homogeneity = 1.0
+
+    def __init__(self, p: float) -> None:
+        if not (p >= 1.0):
+            raise ValueError(f"Lp penalty needs p >= 1, got {p}")
+        self.p = float(p)
+
+    def __call__(self, error: np.ndarray) -> float:
+        error = np.asarray(error, dtype=np.float64)
+        if np.isinf(self.p):
+            return float(np.max(np.abs(error))) if error.size else 0.0
+        return float(np.sum(np.abs(error) ** self.p) ** (1.0 / self.p))
+
+    def importance_entries(
+        self, entry_key_pos, entry_qid, entry_val, num_keys, batch_size
+    ) -> np.ndarray:
+        entry_key_pos = np.asarray(entry_key_pos, dtype=np.int64)
+        entry_val = np.asarray(entry_val, dtype=np.float64)
+        if np.isinf(self.p):
+            out = np.zeros(num_keys)
+            np.maximum.at(out, entry_key_pos, np.abs(entry_val))
+            return out
+        sums = np.bincount(
+            entry_key_pos, weights=np.abs(entry_val) ** self.p, minlength=num_keys
+        )
+        return sums ** (1.0 / self.p)
+
+
+class CombinedPenalty(Penalty):
+    """A non-negative linear combination of penalties.
+
+    "Linear combinations of quadratic penalty functions are still quadratic
+    penalty functions, allowing them to be mixed arbitrarily" — Section 4.
+    All terms must share the same homogeneity degree so the combination is
+    itself homogeneous (as Definition 2 requires).
+    """
+
+    def __init__(self, terms: Sequence[tuple[float, Penalty]]) -> None:
+        terms = [(float(w), p) for w, p in terms]
+        if not terms:
+            raise ValueError("need at least one term")
+        if any(w < 0 for w, _ in terms):
+            raise ValueError("weights must be non-negative")
+        degrees = {p.homogeneity for _, p in terms}
+        if len(degrees) != 1:
+            raise ValueError(
+                "all combined penalties must share a homogeneity degree; "
+                f"got {sorted(degrees)}"
+            )
+        self.terms = terms
+        self.homogeneity = degrees.pop()
+
+    def __call__(self, error: np.ndarray) -> float:
+        return float(sum(w * p(error) for w, p in self.terms))
+
+    def importance_entries(
+        self, entry_key_pos, entry_qid, entry_val, num_keys, batch_size
+    ) -> np.ndarray:
+        out = np.zeros(num_keys)
+        for w, p in self.terms:
+            out += w * p.importance_entries(
+                entry_key_pos, entry_qid, entry_val, num_keys, batch_size
+            )
+        return out
+
+    @property
+    def is_quadratic(self) -> bool:
+        return all(p.is_quadratic for _, p in self.terms)

@@ -1,0 +1,140 @@
+"""Master-list construction: steps 2-4 of the Batch-Biggest-B algorithm.
+
+A :class:`QueryPlan` flattens the rewritten query vectors of a batch into
+three aligned entry arrays — (key position, query id, coefficient value) —
+plus the sorted master list of distinct store keys.  Everything downstream
+(importance evaluation, progression ordering, progressive estimation) is a
+vectorized pass over these arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.penalties import Penalty
+
+
+@dataclass
+class QueryPlan:
+    """Flattened batch of rewritten queries over a common key space.
+
+    Attributes
+    ----------
+    batch_size:
+        Number of queries ``s``.
+    keys:
+        Sorted distinct store keys needed by the batch (the master list).
+    entry_key_pos, entry_qid, entry_val:
+        Aligned arrays, one entry per nonzero query coefficient:
+        ``q_hat[entry_qid[e]][keys[entry_key_pos[e]]] == entry_val[e]``.
+    per_query_nnz:
+        Nonzero count of each rewritten query — the retrievals a
+        *non-sharing* evaluator would spend on it.
+    """
+
+    batch_size: int
+    keys: np.ndarray
+    entry_key_pos: np.ndarray
+    entry_qid: np.ndarray
+    entry_val: np.ndarray
+    per_query_nnz: np.ndarray
+    _csr_cache: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_rewrites(cls, rewrites: Sequence) -> "QueryPlan":
+        """Merge rewritten queries (objects with ``indices``/``values``)."""
+        if not rewrites:
+            raise ValueError("need at least one rewritten query")
+        all_keys = np.concatenate([np.asarray(r.indices, dtype=np.int64) for r in rewrites])
+        all_vals = np.concatenate([np.asarray(r.values, dtype=np.float64) for r in rewrites])
+        nnz = np.array([int(np.asarray(r.indices).size) for r in rewrites], dtype=np.int64)
+        qids = np.repeat(np.arange(len(rewrites), dtype=np.int64), nnz)
+        uniq, inverse = np.unique(all_keys, return_inverse=True)
+        return cls(
+            batch_size=len(rewrites),
+            keys=uniq,
+            entry_key_pos=inverse.astype(np.int64),
+            entry_qid=qids,
+            entry_val=all_vals,
+            per_query_nnz=nnz,
+        )
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+
+    @property
+    def num_keys(self) -> int:
+        """Master-list length — the retrievals a sharing evaluator spends."""
+        return int(self.keys.size)
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.entry_val.size)
+
+    @property
+    def total_query_coefficients(self) -> int:
+        """Sum of per-query nonzeros — retrievals *without* I/O sharing."""
+        return int(self.per_query_nnz.sum())
+
+    # ------------------------------------------------------------------
+    # Importance and ordering
+    # ------------------------------------------------------------------
+
+    def importance(self, penalty: Penalty) -> np.ndarray:
+        """``iota_p`` for every master-list key (Definition 3)."""
+        return penalty.importance_entries(
+            self.entry_key_pos,
+            self.entry_qid,
+            self.entry_val,
+            self.num_keys,
+            self.batch_size,
+        )
+
+    def order(self, penalty: Penalty) -> np.ndarray:
+        """Key positions in descending importance (ties: ascending key).
+
+        This is the biggest-B progression order of Definition 3/4.
+        """
+        iota = self.importance(penalty)
+        return np.lexsort((self.keys, -iota))
+
+    def column(self, key_pos: int) -> np.ndarray:
+        """Dense coefficient column ``(q_hat_i[key])_i`` for one key."""
+        col = np.zeros(self.batch_size)
+        mask = self.entry_key_pos == key_pos
+        np.add.at(col, self.entry_qid[mask], self.entry_val[mask])
+        return col
+
+    # ------------------------------------------------------------------
+    # CSR grouping by key (used by the step-by-step evaluator)
+    # ------------------------------------------------------------------
+
+    def csr_by_key(self) -> tuple[np.ndarray, np.ndarray]:
+        """Group entries by key position.
+
+        Returns ``(entry_order, offsets)``: entries ``entry_order[offsets[k]
+        : offsets[k+1]]`` belong to key position ``k``.
+        """
+        if self._csr_cache is None:
+            entry_order = np.argsort(self.entry_key_pos, kind="stable")
+            counts = np.bincount(self.entry_key_pos, minlength=self.num_keys)
+            offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+            self._csr_cache = (entry_order, offsets)
+        return self._csr_cache
+
+    def exact_estimates(self, coefficients_by_key: np.ndarray) -> np.ndarray:
+        """Final answers given the data coefficient of every master key."""
+        coefficients_by_key = np.asarray(coefficients_by_key, dtype=np.float64)
+        if coefficients_by_key.shape != (self.num_keys,):
+            raise ValueError(f"expected {self.num_keys} coefficients")
+        return np.bincount(
+            self.entry_qid,
+            weights=self.entry_val * coefficients_by_key[self.entry_key_pos],
+            minlength=self.batch_size,
+        )

@@ -1,0 +1,176 @@
+"""Interactive progressive sessions on top of Batch-Biggest-B.
+
+The paper's user stories (Section 4) are interactive: a dashboard renders
+progressive estimates, the user scrolls (moving the cursor), pauses, or
+decides the current accuracy suffices.  :class:`ProgressiveSession` wraps
+the Figure-1 loop with exactly that control surface:
+
+* :meth:`advance` retrieves the next ``k`` most important coefficients;
+* :meth:`set_penalty` re-weighs the *remaining* retrievals under a new
+  penalty (e.g. the cursor moved) without discarding progress — the already
+  retrieved coefficients stay retrieved, the unretrieved ones are re-ranked
+  by the new importance function, which is exactly how Batch-Biggest-B
+  would have continued had the new penalty been supplied at that point;
+* :meth:`run_until` advances until the Theorem-1 worst-case bound or an
+  observed-estimate predicate is satisfied.
+
+The session never retrieves a coefficient twice.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from repro.core.penalties import Penalty, SsePenalty
+from repro.core.plan import QueryPlan
+from repro.queries.vector_query import QueryBatch
+from repro.storage.base import LinearStorage
+
+
+class ProgressiveSession:
+    """A pausable, re-targetable progressive batch evaluation."""
+
+    def __init__(
+        self,
+        storage: LinearStorage,
+        batch: QueryBatch,
+        penalty: Penalty | None = None,
+    ) -> None:
+        self.storage = storage
+        self.batch = batch
+        self.penalty = penalty if penalty is not None else SsePenalty()
+        self.rewrites = [storage.rewrite(q) for q in batch]
+        self.plan = QueryPlan.from_rewrites(self.rewrites)
+        self.estimates = np.zeros(batch.size)
+        self._retrieved = np.zeros(self.plan.num_keys, dtype=bool)
+        self._entry_order, self._offsets = self.plan.csr_by_key()
+        self._importance = self.plan.importance(self.penalty)
+        self._heap: list[tuple[float, int, int]] = []
+        self._rebuild_heap()
+        self._k_const: float | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def steps_taken(self) -> int:
+        """Coefficients retrieved so far."""
+        return int(self._retrieved.sum())
+
+    @property
+    def remaining(self) -> int:
+        """Coefficients not yet retrieved."""
+        return self.plan.num_keys - self.steps_taken
+
+    @property
+    def is_exact(self) -> bool:
+        """True once every master-list coefficient has been retrieved."""
+        return self.remaining == 0
+
+    def worst_case_bound(self) -> float:
+        """Theorem-1 bound on the penalty of the *current* estimates."""
+        if not self._heap:
+            return 0.0
+        if self._k_const is None:
+            self._k_const = self.storage.total_l1()
+        next_iota = -self._heap[0][0]
+        return float(self._k_const**self.penalty.homogeneity * next_iota)
+
+    def expected_penalty(self) -> float:
+        """Theorem-2 expected penalty of the current estimates."""
+        if not self.penalty.is_quadratic:
+            raise ValueError("Theorem 2 applies to quadratic penalties only")
+        remaining_iota = float(self._importance[~self._retrieved].sum())
+        return remaining_iota / (self.storage.domain_size - 1)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+
+    def advance(self, k: int = 1) -> int:
+        """Retrieve the next ``k`` most important coefficients.
+
+        Returns how many were actually retrieved (less than ``k`` only when
+        the master list runs out).
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        done = 0
+        while done < k and self._heap:
+            neg_iota, key, pos = heapq.heappop(self._heap)
+            if self._retrieved[pos]:
+                continue  # stale entry from a penalty switch
+            coefficient = float(self.storage.store.fetch(np.array([key]))[0])
+            self._retrieved[pos] = True
+            segment = self._entry_order[self._offsets[pos] : self._offsets[pos + 1]]
+            np.add.at(
+                self.estimates,
+                self.plan.entry_qid[segment],
+                self.plan.entry_val[segment] * coefficient,
+            )
+            done += 1
+        return done
+
+    def set_penalty(self, penalty: Penalty) -> None:
+        """Re-rank the remaining retrievals under a new penalty.
+
+        Progress is kept; only the order of future retrievals changes.
+        """
+        self.penalty = penalty
+        self._importance = self.plan.importance(penalty)
+        self._rebuild_heap()
+
+    def run_until(
+        self,
+        bound: float | None = None,
+        predicate: Callable[[np.ndarray], bool] | None = None,
+        max_steps: int | None = None,
+    ) -> int:
+        """Advance until a stopping condition holds.
+
+        Parameters
+        ----------
+        bound:
+            Stop once the Theorem-1 worst-case bound drops to or below this
+            value (guaranteed accuracy).
+        predicate:
+            Stop once ``predicate(estimates)`` returns True (observed
+            accuracy; called after every retrieval).
+        max_steps:
+            Hard cap on retrievals for this call.
+
+        Returns the number of coefficients retrieved by this call.
+        """
+        if bound is None and predicate is None and max_steps is None:
+            raise ValueError("provide at least one stopping condition")
+        done = 0
+        while self._heap:
+            if max_steps is not None and done >= max_steps:
+                break
+            if bound is not None and self.worst_case_bound() <= bound:
+                break
+            if predicate is not None and predicate(self.estimates):
+                break
+            done += self.advance(1)
+        return done
+
+    def run_to_completion(self) -> np.ndarray:
+        """Retrieve everything; returns the exact answers."""
+        self.advance(self.remaining + len(self._heap))
+        return self.estimates.copy()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _rebuild_heap(self) -> None:
+        pending = np.nonzero(~self._retrieved)[0]
+        self._heap = [
+            (-float(self._importance[pos]), int(self.plan.keys[pos]), int(pos))
+            for pos in pending
+        ]
+        heapq.heapify(self._heap)

@@ -1,0 +1,23 @@
+"""Data substrate: relations, frequency distributions, synthetic datasets."""
+
+from repro.data.csvio import read_relation_csv, write_relation_csv
+from repro.data.relation import Relation, Schema
+from repro.data.synthetic import (
+    employee_dataset,
+    gaussian_mixture_dataset,
+    temperature_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+
+__all__ = [
+    "read_relation_csv",
+    "write_relation_csv",
+    "Relation",
+    "Schema",
+    "employee_dataset",
+    "gaussian_mixture_dataset",
+    "temperature_dataset",
+    "uniform_dataset",
+    "zipf_dataset",
+]

@@ -1,0 +1,38 @@
+"""CSV round-trip for relations (header row = schema)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.relation import Relation, Schema
+
+
+def write_relation_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation as CSV with a two-row header (names, domain sizes)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        writer.writerow(relation.schema.shape)
+        writer.writerows(relation.records.tolist())
+
+
+def read_relation_csv(path: str | Path) -> Relation:
+    """Read a relation written by :func:`write_relation_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            names = next(reader)
+            shape = [int(v) for v in next(reader)]
+        except StopIteration:
+            raise ValueError(f"{path} is missing the two-row header") from None
+        rows = [[int(v) for v in row] for row in reader if row]
+    schema = Schema(names=tuple(names), shape=tuple(shape))
+    records = np.array(rows, dtype=np.int64)
+    if records.size == 0:
+        records = records.reshape(0, schema.ndim)
+    return Relation(schema=schema, records=records)

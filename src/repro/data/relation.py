@@ -1,0 +1,143 @@
+"""Relations over finite integer domains and their frequency distributions.
+
+Following the paper's preliminaries (Section 1.3): a database instance of a
+schema with ``d`` numeric attributes ranging over ``[0, N)`` is represented
+by its *data frequency distribution* ``Delta``, the d-dimensional array
+counting how many tuples take each attribute combination.  Every aggregate
+query studied here is a linear functional of ``Delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util import check_shape
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Attribute names and their (power-of-two) domain sizes."""
+
+    names: tuple[str, ...]
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        names = tuple(str(n) for n in self.names)
+        shape = check_shape(self.shape)
+        if len(names) != len(shape):
+            raise ValueError("one name per dimension required")
+        if len(set(names)) != len(names):
+            raise ValueError("attribute names must be distinct")
+        object.__setattr__(self, "names", names)
+        object.__setattr__(self, "shape", shape)
+
+    @classmethod
+    def anonymous(cls, shape: Sequence[int]) -> "Schema":
+        """A schema with generated attribute names."""
+        shape = check_shape(shape)
+        return cls(names=tuple(f"attr{i}" for i in range(len(shape))), shape=shape)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def attribute_index(self, name: str) -> int:
+        """Index of a named attribute."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"no attribute named {name!r}; have {self.names}") from None
+
+
+class Relation:
+    """A bag of integer tuples over a schema's domain."""
+
+    def __init__(self, schema: Schema, records: np.ndarray) -> None:
+        records = np.asarray(records, dtype=np.int64)
+        if records.size == 0:
+            records = records.reshape(0, schema.ndim)
+        if records.ndim != 2 or records.shape[1] != schema.ndim:
+            raise ValueError(
+                f"records must be an (m, {schema.ndim}) integer array, "
+                f"got shape {records.shape}"
+            )
+        for d, side in enumerate(schema.shape):
+            col = records[:, d]
+            if col.size and (col.min() < 0 or col.max() >= side):
+                raise ValueError(
+                    f"attribute {schema.names[d]!r} has values outside [0, {side})"
+                )
+        self.schema = schema
+        self.records = records
+
+    @classmethod
+    def from_tuples(
+        cls,
+        tuples: Sequence[Sequence[int]],
+        shape: Sequence[int],
+        names: Sequence[str] | None = None,
+    ) -> "Relation":
+        """Build from an iterable of attribute tuples."""
+        shape = check_shape(shape)
+        schema = (
+            Schema(names=tuple(names), shape=shape)
+            if names is not None
+            else Schema.anonymous(shape)
+        )
+        records = np.array([tuple(t) for t in tuples], dtype=np.int64)
+        if records.size == 0:
+            records = records.reshape(0, len(shape))
+        return cls(schema=schema, records=records)
+
+    @property
+    def num_records(self) -> int:
+        """Number of tuples (with multiplicity)."""
+        return int(self.records.shape[0])
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.schema.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.schema.ndim
+
+    def frequency_distribution(self) -> np.ndarray:
+        """The dense data frequency distribution ``Delta``."""
+        delta = np.zeros(self.schema.shape, dtype=np.float64)
+        if self.num_records:
+            flat = np.ravel_multi_index(
+                tuple(self.records[:, d] for d in range(self.ndim)), self.schema.shape
+            )
+            np.add.at(delta.ravel(), flat, 1.0)
+        return delta
+
+    def sparse_counts(self) -> dict[tuple[int, ...], int]:
+        """Distinct tuples and their multiplicities."""
+        if not self.num_records:
+            return {}
+        uniq, counts = np.unique(self.records, axis=0, return_counts=True)
+        return {tuple(int(v) for v in row): int(c) for row, c in zip(uniq, counts)}
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Union (bag semantics) with another relation of the same schema."""
+        if other.schema != self.schema:
+            raise ValueError("schemas differ")
+        return Relation(self.schema, np.vstack([self.records, other.records]))
+
+    def sample(self, n: int, rng: np.random.Generator | None = None) -> "Relation":
+        """Uniform sample of ``n`` records (without replacement)."""
+        if n > self.num_records:
+            raise ValueError(f"cannot sample {n} of {self.num_records} records")
+        rng = rng or np.random.default_rng()
+        idx = rng.choice(self.num_records, size=n, replace=False)
+        return Relation(self.schema, self.records[idx])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Relation({self.num_records} records, "
+            f"schema={list(self.schema.names)}, shape={self.schema.shape})"
+        )

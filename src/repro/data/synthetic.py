@@ -1,0 +1,170 @@
+"""Synthetic dataset generators.
+
+The paper's evaluation uses a JPL dataset of global temperature observations
+(15.7M records; latitude, longitude, altitude, time, temperature).  That
+dataset is proprietary, so :func:`temperature_dataset` synthesizes a
+physically structured substitute: a temperature field with a latitude
+gradient, an altitude lapse rate, diurnal and seasonal cycles, longitudinal
+waves, and observation noise, quantized onto a power-of-two domain.  The
+paper's measurements (retrieval counts, progression accuracy) depend on the
+*query* vectors' wavelet sparsity — which is data independent — so any
+realistic measure distribution exercises the same behaviour; DESIGN.md
+records this substitution.
+
+The other generators cover the motivating example of Figures 2-4 (an
+employee age/salary relation) and standard stress distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.relation import Relation, Schema
+from repro.util import check_shape
+
+
+def _quantize(values: np.ndarray, lo: float, hi: float, bins: int) -> np.ndarray:
+    """Clip to [lo, hi] and quantize to integer bins ``0..bins-1``."""
+    scaled = (np.clip(values, lo, hi) - lo) / (hi - lo)
+    return np.minimum((scaled * bins).astype(np.int64), bins - 1)
+
+
+def temperature_dataset(
+    shape: tuple[int, ...] = (16, 32, 8, 16, 32),
+    n_records: int = 200_000,
+    seed: int = 0,
+) -> Relation:
+    """Synthetic global temperature observations.
+
+    Dimensions (in order): latitude, longitude, altitude, time,
+    temperature.  Temperature is generated from a simple physical model
+
+        T = 288 - 55 * sin(lat)**2 - 6.5 * altitude_km
+            + 8 * sin(season) + 4 * sin(diurnal + lon) + noise
+
+    (Kelvin-ish magnitudes), then quantized to ``shape[-1]`` bins.  The
+    spatial/temporal coordinates are drawn non-uniformly the way observation
+    networks are: more samples at low altitude and mid latitudes.
+    """
+    shape = check_shape(shape)
+    if len(shape) != 5:
+        raise ValueError("temperature dataset is 5-dimensional (lat, lon, alt, time, temp)")
+    rng = np.random.default_rng(seed)
+    n_lat, n_lon, n_alt, n_time, n_temp = shape
+
+    lat = np.clip(rng.normal(0.0, 0.45, n_records), -1.0, 1.0)  # sin(latitude)
+    lon = rng.uniform(0.0, 2 * np.pi, n_records)
+    alt_km = rng.exponential(3.0, n_records)  # denser sampling near ground
+    alt_km = np.clip(alt_km, 0.0, 12.0)
+    t = rng.uniform(0.0, 1.0, n_records)  # fraction of the two-month window
+
+    season = 8.0 * np.sin(2 * np.pi * t)
+    diurnal = 4.0 * np.sin(2 * np.pi * 61 * t + lon)  # ~61 days of diurnal cycle
+    temperature = (
+        288.0
+        - 55.0 * lat**2
+        - 6.5 * alt_km
+        + season
+        + diurnal
+        + rng.normal(0.0, 2.0, n_records)
+    )
+
+    records = np.stack(
+        [
+            _quantize(lat, -1.0, 1.0, n_lat),
+            _quantize(lon, 0.0, 2 * np.pi, n_lon),
+            _quantize(alt_km, 0.0, 12.0, n_alt),
+            _quantize(t, 0.0, 1.0, n_time),
+            _quantize(temperature, 180.0, 320.0, n_temp),
+        ],
+        axis=1,
+    )
+    schema = Schema(
+        names=("latitude", "longitude", "altitude", "time", "temperature"),
+        shape=shape,
+    )
+    return Relation(schema=schema, records=records)
+
+
+def employee_dataset(
+    shape: tuple[int, ...] = (128, 128),
+    n_records: int = 50_000,
+    seed: int = 0,
+) -> Relation:
+    """Employee (age, salary) relation: the Figure 2-4 motivating scenario.
+
+    "the total salary paid to employees between age 25 and 40, who make at
+    least 55K per year" — ages map directly onto ``[0, shape[0])`` and
+    salaries (in thousands) onto ``[0, shape[1])``; salary is lognormal and
+    grows with age.
+    """
+    shape = check_shape(shape)
+    if len(shape) != 2:
+        raise ValueError("employee dataset is 2-dimensional (age, salary)")
+    rng = np.random.default_rng(seed)
+    n_age, n_salary = shape
+    age = np.clip(rng.normal(40.0, 12.0, n_records), 18.0, float(n_age - 1))
+    seniority = (age - 18.0) / 50.0
+    salary = np.exp(rng.normal(3.4 + 0.8 * seniority, 0.45, n_records))
+    records = np.stack(
+        [
+            age.astype(np.int64),
+            _quantize(salary, 0.0, float(n_salary), n_salary),
+        ],
+        axis=1,
+    )
+    schema = Schema(names=("age", "salary"), shape=shape)
+    return Relation(schema=schema, records=records)
+
+
+def uniform_dataset(
+    shape: tuple[int, ...], n_records: int, seed: int = 0
+) -> Relation:
+    """Uniform random tuples over the domain."""
+    shape = check_shape(shape)
+    rng = np.random.default_rng(seed)
+    records = np.stack(
+        [rng.integers(0, side, n_records) for side in shape], axis=1
+    )
+    return Relation(schema=Schema.anonymous(shape), records=records)
+
+
+def zipf_dataset(
+    shape: tuple[int, ...], n_records: int, exponent: float = 1.2, seed: int = 0
+) -> Relation:
+    """Skewed tuples: each attribute follows a (truncated) Zipf law."""
+    shape = check_shape(shape)
+    if exponent <= 1.0:
+        raise ValueError("zipf exponent must exceed 1")
+    rng = np.random.default_rng(seed)
+    cols = []
+    for side in shape:
+        ranks = np.arange(1, side + 1, dtype=np.float64)
+        probs = ranks**-exponent
+        probs /= probs.sum()
+        cols.append(rng.choice(side, size=n_records, p=probs))
+    records = np.stack(cols, axis=1)
+    return Relation(schema=Schema.anonymous(shape), records=records)
+
+
+def gaussian_mixture_dataset(
+    shape: tuple[int, ...],
+    n_records: int,
+    n_clusters: int = 4,
+    spread: float = 0.08,
+    seed: int = 0,
+) -> Relation:
+    """Clustered tuples: a mixture of axis-aligned Gaussians."""
+    shape = check_shape(shape)
+    if n_clusters < 1:
+        raise ValueError("need at least one cluster")
+    rng = np.random.default_rng(seed)
+    ndim = len(shape)
+    centers = rng.uniform(0.2, 0.8, size=(n_clusters, ndim))
+    assignment = rng.integers(0, n_clusters, n_records)
+    cols = []
+    for d, side in enumerate(shape):
+        raw = rng.normal(centers[assignment, d], spread)
+        cols.append(_quantize(raw, 0.0, 1.0, side))
+    records = np.stack(cols, axis=1)
+    return Relation(schema=Schema.anonymous(shape), records=records)

@@ -1,0 +1,24 @@
+"""Query model: ranges, polynomials, vector queries, batches, workloads."""
+
+from repro.queries.derived import DerivedBatch
+from repro.queries.polynomial import Polynomial
+from repro.queries.range import HyperRect
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.queries.workload import (
+    drill_down_batch,
+    random_partition,
+    random_rectangles,
+    sliding_cursor_batches,
+)
+
+__all__ = [
+    "DerivedBatch",
+    "Polynomial",
+    "HyperRect",
+    "QueryBatch",
+    "VectorQuery",
+    "drill_down_batch",
+    "random_partition",
+    "random_rectangles",
+    "sliding_cursor_batches",
+]

@@ -1,0 +1,103 @@
+"""Derived batches: linear views over a batch's results.
+
+Users rarely stop at raw cell values: they roll partitions up into coarser
+regions, difference neighboring cells, or normalize against a total.  Any
+such *linear* post-processing ``y = T x`` of the batch answers ``x`` is
+itself a batch of vector queries (linear combinations of vector queries are
+vector queries), and a structural error penalty ``p`` on the derived
+results pulls back to the quadratic penalty ``p(T e)`` on the base batch —
+which Batch-Biggest-B can then optimize directly.  This module packages
+that pattern, a concrete step toward the conclusion's "progressive
+implementations of relational algebra".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.penalties import QuadraticPenalty
+from repro.queries.vector_query import QueryBatch
+
+
+class DerivedBatch:
+    """A linear view ``y = T x`` over a base batch's answers."""
+
+    def __init__(self, base: QueryBatch, transform: np.ndarray, name: str = "") -> None:
+        transform = np.asarray(transform, dtype=np.float64)
+        if transform.ndim != 2 or transform.shape[1] != base.size:
+            raise ValueError(
+                f"transform must be (m, {base.size}), got {transform.shape}"
+            )
+        self.base = base
+        self.transform = transform
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Constructors for the common derived views
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def differences(cls, base: QueryBatch, edges: Sequence[tuple[int, int]] | None = None) -> "DerivedBatch":
+        """Neighboring-cell differences (the introduction's drill-down cue)."""
+        if edges is None:
+            edges = [(i, i + 1) for i in range(base.size - 1)]
+        t = np.zeros((len(edges), base.size))
+        for r, (a, b) in enumerate(edges):
+            t[r, a] = 1.0
+            t[r, b] = -1.0
+        return cls(base, t, name="differences")
+
+    @classmethod
+    def rollup(cls, base: QueryBatch, groups: Sequence[Sequence[int]]) -> "DerivedBatch":
+        """Sums of groups of cells (rolling a partition up a level)."""
+        t = np.zeros((len(groups), base.size))
+        for r, members in enumerate(groups):
+            for i in members:
+                if not 0 <= i < base.size:
+                    raise ValueError(f"group member {i} outside the batch")
+                t[r, i] += 1.0
+        return cls(base, t, name="rollup")
+
+    @classmethod
+    def moving_average(cls, base: QueryBatch, window: int) -> "DerivedBatch":
+        """Sliding mean over the batch in reading order (trend smoothing)."""
+        if not 1 <= window <= base.size:
+            raise ValueError(f"window must be in [1, {base.size}]")
+        rows = base.size - window + 1
+        t = np.zeros((rows, base.size))
+        for r in range(rows):
+            t[r, r : r + window] = 1.0 / window
+        return cls(base, t, name=f"moving-average({window})")
+
+    @classmethod
+    def shares_of_total(cls, base: QueryBatch) -> "DerivedBatch":
+        """Deviation of each cell from the batch mean (centering view)."""
+        t = np.eye(base.size) - np.full((base.size, base.size), 1.0 / base.size)
+        return cls(base, t, name="centered")
+
+    # ------------------------------------------------------------------
+    # Evaluation support
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of derived results."""
+        return int(self.transform.shape[0])
+
+    def apply(self, base_answers: np.ndarray) -> np.ndarray:
+        """Compute the derived results from base answers/estimates."""
+        base_answers = np.asarray(base_answers, dtype=np.float64)
+        if base_answers.shape[-1] != self.base.size:
+            raise ValueError("answers do not match the base batch")
+        return base_answers @ self.transform.T
+
+    def pullback_sse_penalty(self, tol: float = 1e-12) -> QuadraticPenalty:
+        """The base-batch penalty whose value is the derived SSE.
+
+        ``SSE(T e) = ||T e||**2``, i.e. a quadratic penalty with factor
+        ``T`` — handing this to Batch-Biggest-B makes the progression
+        optimal for the *derived* results (Theorems 1-2 apply verbatim).
+        """
+        return QuadraticPenalty.from_factor(self.transform, tol=tol)

@@ -1,0 +1,163 @@
+"""Multivariate polynomials over the domain attributes, in monomial form.
+
+A :class:`Polynomial` is a finite sum ``p(x) = sum_m c_m * prod_i x_i**e_i``
+stored as a mapping from exponent tuples to coefficients.  This is the ``p``
+of Definition 1 (polynomial range-sums); the query machinery decomposes a
+query into one separable term per monomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """Polynomial in ``ndim`` variables as ``{exponents: coefficient}``."""
+
+    ndim: int
+    terms: tuple[tuple[tuple[int, ...], float], ...]
+
+    def __post_init__(self) -> None:
+        if self.ndim < 1:
+            raise ValueError("polynomial needs at least one variable")
+        merged: dict[tuple[int, ...], float] = {}
+        for exps, coeff in self.terms:
+            exps = tuple(int(e) for e in exps)
+            if len(exps) != self.ndim:
+                raise ValueError(
+                    f"exponent tuple {exps} has {len(exps)} entries, expected {self.ndim}"
+                )
+            if any(e < 0 for e in exps):
+                raise ValueError(f"negative exponent in {exps}")
+            merged[exps] = merged.get(exps, 0.0) + float(coeff)
+        cleaned = tuple(
+            (exps, coeff) for exps, coeff in sorted(merged.items()) if coeff != 0.0
+        )
+        if not cleaned:
+            cleaned = ((tuple([0] * self.ndim), 0.0),)
+        object.__setattr__(self, "terms", cleaned)
+
+    @classmethod
+    def from_dict(cls, ndim: int, terms: Mapping[Sequence[int], float]) -> "Polynomial":
+        """Build from a ``{exponents: coefficient}`` mapping."""
+        return cls(ndim=ndim, terms=tuple((tuple(k), v) for k, v in terms.items()))
+
+    @classmethod
+    def constant(cls, ndim: int, value: float = 1.0) -> "Polynomial":
+        """The constant polynomial (COUNT queries use ``value == 1``)."""
+        return cls(ndim=ndim, terms=(((0,) * ndim, float(value)),))
+
+    @classmethod
+    def attribute(cls, ndim: int, index: int) -> "Polynomial":
+        """The coordinate polynomial ``x_index`` (SUM queries)."""
+        if not 0 <= index < ndim:
+            raise ValueError(f"attribute index {index} outside [0, {ndim})")
+        exps = [0] * ndim
+        exps[index] = 1
+        return cls(ndim=ndim, terms=((tuple(exps), 1.0),))
+
+    @classmethod
+    def product(cls, ndim: int, i: int, j: int) -> "Polynomial":
+        """The product polynomial ``x_i * x_j`` (SUMPRODUCT queries)."""
+        for idx in (i, j):
+            if not 0 <= idx < ndim:
+                raise ValueError(f"attribute index {idx} outside [0, {ndim})")
+        exps = [0] * ndim
+        exps[i] += 1
+        exps[j] += 1
+        return cls(ndim=ndim, terms=((tuple(exps), 1.0),))
+
+    @property
+    def degree(self) -> int:
+        """Maximum per-variable degree (the paper's ``delta``)."""
+        return max(max(exps) for exps, _ in self.terms)
+
+    @property
+    def total_degree(self) -> int:
+        """Maximum total degree across monomials."""
+        return max(sum(exps) for exps, _ in self.terms)
+
+    def monomials(self) -> Iterator[tuple[tuple[int, ...], float]]:
+        """Iterate ``(exponents, coefficient)`` pairs."""
+        yield from self.terms
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        if other.ndim != self.ndim:
+            raise ValueError("cannot add polynomials with different variable counts")
+        return Polynomial(ndim=self.ndim, terms=self.terms + other.terms)
+
+    def __mul__(self, other: "Polynomial | float | int") -> "Polynomial":
+        if isinstance(other, (int, float)):
+            return Polynomial(
+                ndim=self.ndim,
+                terms=tuple((exps, coeff * other) for exps, coeff in self.terms),
+            )
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        if other.ndim != self.ndim:
+            raise ValueError("cannot multiply polynomials with different variable counts")
+        products = []
+        for exps_a, ca in self.terms:
+            for exps_b, cb in other.terms:
+                exps = tuple(a + b for a, b in zip(exps_a, exps_b))
+                products.append((exps, ca * cb))
+        return Polynomial(ndim=self.ndim, terms=tuple(products))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Polynomial":
+        return self * -1.0
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self + (-other)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate at an ``(m, ndim)`` array of integer points."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != self.ndim:
+            raise ValueError(f"expected an (m, {self.ndim}) array")
+        out = np.zeros(points.shape[0], dtype=np.float64)
+        for exps, coeff in self.terms:
+            term = np.full(points.shape[0], coeff, dtype=np.float64)
+            for d, e in enumerate(exps):
+                if e:
+                    term *= points[:, d] ** e
+            out += term
+        return out
+
+    def evaluate_grid(self, shape: Sequence[int]) -> np.ndarray:
+        """Evaluate on the full integer grid of the given shape."""
+        shape = tuple(int(s) for s in shape)
+        if len(shape) != self.ndim:
+            raise ValueError(f"shape has {len(shape)} dims, expected {self.ndim}")
+        out = np.zeros(shape, dtype=np.float64)
+        axes = [np.arange(s, dtype=np.float64) for s in shape]
+        for exps, coeff in self.terms:
+            term = np.array(coeff, dtype=np.float64)
+            for d, e in enumerate(exps):
+                axis_vals = axes[d] ** e if e else np.ones_like(axes[d])
+                expand = [None] * self.ndim
+                expand[d] = slice(None)
+                term = term * axis_vals[tuple(expand)]
+            out += term
+        return out
+
+    def is_constant(self) -> bool:
+        """True if the polynomial has no variable dependence."""
+        return all(all(e == 0 for e in exps) for exps, _ in self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        def fmt(exps: tuple[int, ...], coeff: float) -> str:
+            factors = [f"x{d}^{e}" if e > 1 else f"x{d}" for d, e in enumerate(exps) if e]
+            body = "*".join(factors) if factors else "1"
+            return f"{coeff:g}*{body}"
+
+        return "Polynomial(" + " + ".join(fmt(e, c) for e, c in self.terms) + ")"

@@ -1,0 +1,168 @@
+"""Hyper-rectangular ranges over integer domains.
+
+A :class:`HyperRect` is the region ``R`` of a range-sum query: the Cartesian
+product of inclusive integer intervals ``[lo_i, hi_i]``, one per dimension.
+Bounds are stored independently of any particular domain shape; they are
+validated against a shape where one is available (see :meth:`validate_for`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class HyperRect:
+    """Product of inclusive integer intervals, one per dimension."""
+
+    bounds: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        bounds = tuple((int(lo), int(hi)) for lo, hi in self.bounds)
+        if not bounds:
+            raise ValueError("a range needs at least one dimension")
+        for d, (lo, hi) in enumerate(bounds):
+            if lo < 0:
+                raise ValueError(f"dimension {d}: lower bound {lo} is negative")
+            if lo > hi:
+                raise ValueError(f"dimension {d}: empty interval [{lo}, {hi}]")
+        object.__setattr__(self, "bounds", bounds)
+
+    @classmethod
+    def from_bounds(cls, bounds: Sequence[Sequence[int]]) -> "HyperRect":
+        """Build from a sequence of ``(lo, hi)`` pairs."""
+        return cls(tuple((int(lo), int(hi)) for lo, hi in bounds))
+
+    @classmethod
+    def full_domain(cls, shape: Sequence[int]) -> "HyperRect":
+        """The whole domain of the given shape."""
+        return cls(tuple((0, int(s) - 1) for s in shape))
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.bounds)
+
+    @property
+    def volume(self) -> int:
+        """Number of integer points inside the range."""
+        v = 1
+        for lo, hi in self.bounds:
+            v *= hi - lo + 1
+        return v
+
+    def validate_for(self, shape: Sequence[int]) -> None:
+        """Raise if the range does not fit inside a domain of ``shape``."""
+        if len(shape) != self.ndim:
+            raise ValueError(
+                f"range has {self.ndim} dimensions but domain has {len(shape)}"
+            )
+        for d, ((lo, hi), side) in enumerate(zip(self.bounds, shape)):
+            if hi >= side:
+                raise ValueError(
+                    f"dimension {d}: upper bound {hi} outside domain of size {side}"
+                )
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """True if the integer point lies inside the range."""
+        if len(point) != self.ndim:
+            raise ValueError("point dimensionality mismatch")
+        return all(lo <= p <= hi for (lo, hi), p in zip(self.bounds, point))
+
+    def contains_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for an ``(m, ndim)`` array of points."""
+        points = np.asarray(points)
+        if points.ndim != 2 or points.shape[1] != self.ndim:
+            raise ValueError(f"expected an (m, {self.ndim}) array")
+        los = np.array([lo for lo, _ in self.bounds])
+        his = np.array([hi for _, hi in self.bounds])
+        return np.all((points >= los) & (points <= his), axis=1)
+
+    def slices(self) -> tuple[slice, ...]:
+        """Numpy slices selecting the range from a dense domain array."""
+        return tuple(slice(lo, hi + 1) for lo, hi in self.bounds)
+
+    def indicator(self, shape: Sequence[int]) -> np.ndarray:
+        """Dense characteristic function ``chi_R`` over the domain."""
+        self.validate_for(shape)
+        out = np.zeros(tuple(int(s) for s in shape), dtype=np.float64)
+        out[self.slices()] = 1.0
+        return out
+
+    def intersect(self, other: "HyperRect") -> "HyperRect | None":
+        """Intersection with another range, or None if empty."""
+        if other.ndim != self.ndim:
+            raise ValueError("dimensionality mismatch")
+        bounds = []
+        for (alo, ahi), (blo, bhi) in zip(self.bounds, other.bounds):
+            lo, hi = max(alo, blo), min(ahi, bhi)
+            if lo > hi:
+                return None
+            bounds.append((lo, hi))
+        return HyperRect(tuple(bounds))
+
+    def corner_points(self) -> Iterator[tuple[tuple[int, ...], int]]:
+        """Inclusion-exclusion corners for prefix-sum evaluation.
+
+        Yields ``(corner, sign)`` pairs such that for a prefix-sum array
+        ``P[y] = sum_{x <= y} a[x]`` (with the convention that a coordinate
+        of ``-1`` contributes zero),
+
+            sum_{x in R} a[x] = sum signs * P[corner].
+
+        Corners with any coordinate equal to ``-1`` are *not* yielded — they
+        are identically zero and require no retrieval, matching how the
+        paper counts prefix-sum retrievals.
+        """
+        ndim = self.ndim
+        for mask in range(1 << ndim):
+            corner = []
+            skip = False
+            sign = 1
+            for d, (lo, hi) in enumerate(self.bounds):
+                if mask & (1 << d):
+                    coord = lo - 1
+                    sign = -sign
+                else:
+                    coord = hi
+                if coord < 0:
+                    skip = True
+                    break
+                corner.append(coord)
+            if not skip:
+                yield tuple(corner), sign
+
+    def split(self, dim: int, at: int) -> tuple["HyperRect", "HyperRect"]:
+        """Split along ``dim`` into ``[lo, at]`` and ``[at+1, hi]``."""
+        lo, hi = self.bounds[dim]
+        if not lo <= at < hi:
+            raise ValueError(f"split point {at} not inside [{lo}, {hi})")
+        left = list(self.bounds)
+        right = list(self.bounds)
+        left[dim] = (lo, at)
+        right[dim] = (at + 1, hi)
+        return HyperRect(tuple(left)), HyperRect(tuple(right))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"[{lo},{hi}]" for lo, hi in self.bounds)
+        return f"HyperRect({parts})"
+
+
+def is_partition(rects: Sequence[HyperRect], shape: Sequence[int]) -> bool:
+    """True if the ranges exactly tile the domain (disjoint and covering)."""
+    total = 0
+    for r in rects:
+        r.validate_for(shape)
+        total += r.volume
+    domain_volume = 1
+    for s in shape:
+        domain_volume *= int(s)
+    if total != domain_volume:
+        return False
+    cover = np.zeros(tuple(int(s) for s in shape), dtype=np.int64)
+    for r in rects:
+        cover[r.slices()] += 1
+    return bool(np.all(cover == 1))

@@ -1,0 +1,195 @@
+"""Vector queries: polynomial range-sums and their batches.
+
+Section 3: a *vector query* asks for the inner product ``<q, Delta>`` of a
+query vector ``q`` with the data frequency distribution ``Delta``.  A
+*polynomial range-sum of degree delta* is the special case
+``q[x] = p(x) * chi_R(x)`` with ``p`` a polynomial of per-variable degree at
+most ``delta`` and ``R`` a hyper-rectangle.
+
+COUNT, SUM, and SUMPRODUCT are the degree 0/1/2 instances; AVERAGE,
+VARIANCE and COVARIANCE are derived from them (see :mod:`repro.stats`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.queries.polynomial import Polynomial
+from repro.queries.range import HyperRect
+from repro.wavelets.filters import WaveletFilter, get_filter
+from repro.wavelets.query_transform import query_tensor
+from repro.wavelets.sparse import SparseTensor
+
+
+@dataclass(frozen=True)
+class VectorQuery:
+    """A polynomial range-sum query ``q[x] = p(x) * chi_R(x)``."""
+
+    rect: HyperRect
+    polynomial: Polynomial
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.polynomial.ndim != self.rect.ndim:
+            raise ValueError(
+                f"polynomial over {self.polynomial.ndim} variables does not match "
+                f"a {self.rect.ndim}-dimensional range"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors for the paper's three basic aggregates (Section 3).
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def count(cls, rect: HyperRect, label: str = "") -> "VectorQuery":
+        """``COUNT(R)``: number of tuples falling in ``R``."""
+        return cls(rect=rect, polynomial=Polynomial.constant(rect.ndim), label=label)
+
+    @classmethod
+    def sum(cls, rect: HyperRect, attribute: int, label: str = "") -> "VectorQuery":
+        """``SUM(R, attribute)``: sum of one attribute over tuples in ``R``."""
+        return cls(
+            rect=rect,
+            polynomial=Polynomial.attribute(rect.ndim, attribute),
+            label=label,
+        )
+
+    @classmethod
+    def sum_product(
+        cls, rect: HyperRect, attribute_i: int, attribute_j: int, label: str = ""
+    ) -> "VectorQuery":
+        """``SUMPRODUCT(R, i, j)``: sum of ``x_i * x_j`` over tuples in ``R``."""
+        return cls(
+            rect=rect,
+            polynomial=Polynomial.product(rect.ndim, attribute_i, attribute_j),
+            label=label,
+        )
+
+    @classmethod
+    def polynomial_range_sum(
+        cls, rect: HyperRect, polynomial: Polynomial, label: str = ""
+    ) -> "VectorQuery":
+        """General polynomial range-sum (Definition 1)."""
+        return cls(rect=rect, polynomial=polynomial, label=label)
+
+    # ------------------------------------------------------------------
+    # Introspection and evaluation support.
+    # ------------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of the underlying domain."""
+        return self.rect.ndim
+
+    @property
+    def degree(self) -> int:
+        """Per-variable polynomial degree (the paper's ``delta``)."""
+        return self.polynomial.degree
+
+    def dense_vector(self, shape: Sequence[int]) -> np.ndarray:
+        """Materialize the query vector ``p(x) * chi_R(x)`` densely.
+
+        Only used for small domains: naive evaluation, tests, and the
+        figure-style visual comparisons.
+        """
+        self.rect.validate_for(shape)
+        out = np.zeros(tuple(int(s) for s in shape), dtype=np.float64)
+        slices = self.rect.slices()
+        sub_shape = tuple(hi - lo + 1 for lo, hi in self.rect.bounds)
+        grids = np.meshgrid(
+            *[
+                np.arange(lo, hi + 1, dtype=np.float64)
+                for lo, hi in self.rect.bounds
+            ],
+            indexing="ij",
+        )
+        values = np.zeros(sub_shape, dtype=np.float64)
+        for exps, coeff in self.polynomial.monomials():
+            term = np.full(sub_shape, coeff, dtype=np.float64)
+            for d, e in enumerate(exps):
+                if e:
+                    term *= grids[d] ** e
+            values += term
+        out[slices] = values
+        return out
+
+    def evaluate_dense(self, data: np.ndarray) -> float:
+        """Exact answer ``<q, Delta>`` against a dense data array."""
+        return float(np.sum(self.dense_vector(data.shape) * data))
+
+    def wavelet_tensor(
+        self,
+        filt: "WaveletFilter | str | Sequence[WaveletFilter | str]",
+        shape: Sequence[int],
+    ) -> SparseTensor:
+        """The rewritten query vector ``q_hat`` in the wavelet domain.
+
+        ``filt`` may be one filter or a per-axis sequence (matched filters).
+        """
+        self.rect.validate_for(shape)
+        return query_tensor(
+            filt,
+            shape,
+            self.rect.bounds,
+            list(self.polynomial.monomials()),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = self.label or "query"
+        return f"VectorQuery({name}: {self.polynomial!r} over {self.rect!r})"
+
+
+@dataclass(frozen=True)
+class QueryBatch:
+    """An ordered batch of vector queries over a common domain."""
+
+    queries: tuple[VectorQuery, ...]
+    name: str = ""
+
+    def __init__(self, queries: Sequence[VectorQuery], name: str = "") -> None:
+        queries = tuple(queries)
+        if not queries:
+            raise ValueError("a batch needs at least one query")
+        ndim = queries[0].ndim
+        for i, q in enumerate(queries):
+            if q.ndim != ndim:
+                raise ValueError(
+                    f"query {i} has {q.ndim} dimensions, batch expects {ndim}"
+                )
+        object.__setattr__(self, "queries", queries)
+        object.__setattr__(self, "name", name)
+
+    @property
+    def size(self) -> int:
+        """Number of queries in the batch."""
+        return len(self.queries)
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of the common domain."""
+        return self.queries[0].ndim
+
+    @property
+    def degree(self) -> int:
+        """Largest per-variable degree across the batch."""
+        return max(q.degree for q in self.queries)
+
+    def __iter__(self) -> Iterator[VectorQuery]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __getitem__(self, i: int) -> VectorQuery:
+        return self.queries[i]
+
+    def labels(self) -> list[str]:
+        """Per-query labels (defaulting to ``q<i>``)."""
+        return [q.label or f"q{i}" for i, q in enumerate(self.queries)]
+
+    def exact_dense(self, data: np.ndarray) -> np.ndarray:
+        """Brute-force answers against a dense data array (test oracle)."""
+        return np.array([q.evaluate_dense(data) for q in self.queries])

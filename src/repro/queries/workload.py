@@ -1,0 +1,205 @@
+"""Workload generators for batch query experiments.
+
+The paper's evaluation (Section 6) partitions the entire data domain into
+512 randomly sized ranges and sums one attribute in each.  These helpers
+build that workload plus the drill-down and cursor-driven batches that the
+introduction motivates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.queries.range import HyperRect
+from repro.queries.vector_query import QueryBatch, VectorQuery
+
+
+def _random_split_points(
+    rng: np.random.Generator, side: int, pieces: int, min_width: int = 1
+) -> list[int]:
+    """Random interior split points giving every piece at least ``min_width``.
+
+    Returns the sorted last indices of all pieces but the final one.  With
+    ``min_width == 1`` this is a uniformly random composition of ``side``
+    into ``pieces`` nonempty parts; larger values forbid sliver cells.
+    """
+    if pieces < 1:
+        raise ValueError(f"pieces must be >= 1, got {pieces}")
+    if min_width < 1:
+        raise ValueError(f"min_width must be >= 1, got {min_width}")
+    if pieces * min_width > side:
+        raise ValueError(
+            f"cannot cut a side of {side} into {pieces} pieces of width >= {min_width}"
+        )
+    if pieces == 1:
+        return []
+    slack = side - pieces * min_width
+    extras = np.sort(rng.integers(0, slack + 1, size=pieces - 1))
+    return [int(extras[i]) + (i + 1) * min_width - 1 for i in range(pieces - 1)]
+
+
+def random_partition(
+    shape: Sequence[int],
+    cells_per_dim: Sequence[int],
+    rng: np.random.Generator | None = None,
+    min_width: int = 1,
+) -> list[HyperRect]:
+    """Randomly sized grid partition of the whole domain.
+
+    Each dimension ``d`` is cut into ``cells_per_dim[d]`` intervals at
+    uniformly random split points; the partition is the grid of all interval
+    products.  With ``cells_per_dim = (8, 8, 2, 4)`` this reproduces the
+    paper's "512 randomly sized ranges partitioning the entire data domain".
+    """
+    shape = tuple(int(s) for s in shape)
+    cells_per_dim = tuple(int(c) for c in cells_per_dim)
+    if len(cells_per_dim) != len(shape):
+        raise ValueError("cells_per_dim must have one entry per dimension")
+    rng = rng or np.random.default_rng()
+    per_dim_intervals: list[list[tuple[int, int]]] = []
+    for side, pieces in zip(shape, cells_per_dim):
+        cuts = _random_split_points(rng, side, pieces, min_width=min_width)
+        edges = [-1] + cuts + [side - 1]
+        per_dim_intervals.append(
+            [(edges[i] + 1, edges[i + 1]) for i in range(len(edges) - 1)]
+        )
+    rects: list[HyperRect] = []
+    grid_shape = tuple(len(iv) for iv in per_dim_intervals)
+    for flat in range(int(np.prod(grid_shape))):
+        coords = np.unravel_index(flat, grid_shape)
+        bounds = tuple(per_dim_intervals[d][c] for d, c in enumerate(coords))
+        rects.append(HyperRect(bounds))
+    return rects
+
+
+def partition_sum_batch(
+    shape: Sequence[int],
+    cells_per_dim: Sequence[int],
+    measure_attribute: int,
+    rng: np.random.Generator | None = None,
+    min_width: int = 1,
+    name: str = "partition-sum",
+) -> QueryBatch:
+    """The paper's Section 6 workload: SUM(measure) over every partition cell.
+
+    The measure attribute keeps its full range in every cell (it is the
+    aggregated value, not a grouping dimension), exactly like summing the
+    temperature attribute over (lat, lon, alt, time) cells.
+    """
+    shape = tuple(int(s) for s in shape)
+    ndim = len(shape)
+    if not 0 <= measure_attribute < ndim:
+        raise ValueError(f"measure attribute {measure_attribute} outside [0, {ndim})")
+    grouping_dims = [d for d in range(ndim) if d != measure_attribute]
+    grouping_shape = tuple(shape[d] for d in grouping_dims)
+    cells = random_partition(grouping_shape, cells_per_dim, rng=rng, min_width=min_width)
+    queries = []
+    for i, cell in enumerate(cells):
+        bounds = [None] * ndim
+        for gd, b in zip(grouping_dims, cell.bounds):
+            bounds[gd] = b
+        bounds[measure_attribute] = (0, shape[measure_attribute] - 1)
+        rect = HyperRect(tuple(bounds))
+        queries.append(VectorQuery.sum(rect, measure_attribute, label=f"cell{i}"))
+    return QueryBatch(queries, name=name)
+
+
+def partition_count_batch(
+    shape: Sequence[int],
+    cells_per_dim: Sequence[int],
+    rng: np.random.Generator | None = None,
+    min_width: int = 1,
+    name: str = "partition-count",
+) -> QueryBatch:
+    """COUNT over every cell of a random partition of the full domain."""
+    cells = random_partition(shape, cells_per_dim, rng=rng, min_width=min_width)
+    return QueryBatch(
+        [VectorQuery.count(cell, label=f"cell{i}") for i, cell in enumerate(cells)],
+        name=name,
+    )
+
+
+def drill_down_batch(
+    parent: HyperRect,
+    cells_per_dim: Sequence[int],
+    rng: np.random.Generator | None = None,
+    measure_attribute: int | None = None,
+    name: str = "drill-down",
+) -> QueryBatch:
+    """Partition one "interesting" region further — the drill-down pattern.
+
+    Splits the parent range into a random sub-grid and issues one aggregate
+    per sub-cell: COUNT by default, or SUM of ``measure_attribute``.
+    """
+    rng = rng or np.random.default_rng()
+    cells_per_dim = tuple(int(c) for c in cells_per_dim)
+    if len(cells_per_dim) != parent.ndim:
+        raise ValueError("cells_per_dim must have one entry per dimension")
+    per_dim_intervals: list[list[tuple[int, int]]] = []
+    for (lo, hi), pieces in zip(parent.bounds, cells_per_dim):
+        side = hi - lo + 1
+        cuts = _random_split_points(rng, side, pieces)
+        edges = [-1] + cuts + [side - 1]
+        per_dim_intervals.append(
+            [(lo + edges[i] + 1, lo + edges[i + 1]) for i in range(len(edges) - 1)]
+        )
+    grid_shape = tuple(len(iv) for iv in per_dim_intervals)
+    queries = []
+    for flat in range(int(np.prod(grid_shape))):
+        coords = np.unravel_index(flat, grid_shape)
+        bounds = tuple(per_dim_intervals[d][c] for d, c in enumerate(coords))
+        rect = HyperRect(bounds)
+        if measure_attribute is None:
+            queries.append(VectorQuery.count(rect, label=f"drill{flat}"))
+        else:
+            queries.append(
+                VectorQuery.sum(rect, measure_attribute, label=f"drill{flat}")
+            )
+    return QueryBatch(queries, name=name)
+
+
+def random_rectangles(
+    shape: Sequence[int],
+    count: int,
+    rng: np.random.Generator | None = None,
+    min_extent: int = 1,
+) -> list[HyperRect]:
+    """``count`` independent random hyper-rectangles inside the domain."""
+    shape = tuple(int(s) for s in shape)
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if min_extent < 1:
+        raise ValueError(f"min_extent must be >= 1, got {min_extent}")
+    rng = rng or np.random.default_rng()
+    rects = []
+    for _ in range(count):
+        bounds = []
+        for side in shape:
+            extent = int(rng.integers(min_extent, side + 1))
+            lo = int(rng.integers(0, side - extent + 1))
+            bounds.append((lo, lo + extent - 1))
+        rects.append(HyperRect(tuple(bounds)))
+    return rects
+
+
+def sliding_cursor_batches(
+    batch: QueryBatch, window: int, step: int = 1
+) -> list[tuple[int, list[int]]]:
+    """High-priority index windows for cursored penalties.
+
+    Returns ``(cursor_position, indices_in_window)`` pairs covering the batch
+    in reading order — the "results near the cursor" scenario of Section 4.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    out = []
+    for start in range(0, batch.size, step):
+        indices = list(range(start, min(start + window, batch.size)))
+        out.append((start, indices))
+        if start + window >= batch.size:
+            break
+    return out

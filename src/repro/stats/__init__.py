@@ -1,0 +1,5 @@
+"""Range-level derived statistics built on vector queries."""
+
+from repro.stats.derived import RangeStatistics
+
+__all__ = ["RangeStatistics"]

@@ -1,0 +1,185 @@
+"""Derived range-level statistics on top of vector queries.
+
+Section 3 points out (citing Shao [16]) that COUNT, SUM and SUMPRODUCT
+support "a vast array of statistical techniques ... at the range level":
+averages, variances, covariances, correlation, linear regression, ANOVA and
+more.  :class:`RangeStatistics` assembles the needed vector queries, runs
+them as one Batch-Biggest-B batch (so the I/O sharing applies to the
+statistic's internal queries too), and combines the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.batch import BatchBiggestB
+from repro.core.penalties import Penalty
+from repro.queries.range import HyperRect
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.storage.base import LinearStorage
+
+
+@dataclass(frozen=True)
+class RegressionResult:
+    """Ordinary least squares of attribute ``y`` on attribute ``x``."""
+
+    slope: float
+    intercept: float
+    count: float
+
+
+@dataclass(frozen=True)
+class AnovaResult:
+    """One-way ANOVA of an attribute across the cells of a partition."""
+
+    f_statistic: float
+    between_groups_ss: float
+    within_groups_ss: float
+    df_between: int
+    df_within: int
+
+
+class RangeStatistics:
+    """Range-level statistics evaluated through a linear storage strategy."""
+
+    def __init__(self, storage: LinearStorage, penalty: Penalty | None = None) -> None:
+        self.storage = storage
+        self.penalty = penalty
+
+    def _run(self, queries: Sequence[VectorQuery]) -> np.ndarray:
+        evaluator = BatchBiggestB(
+            self.storage, QueryBatch(list(queries)), penalty=self.penalty
+        )
+        return evaluator.run()
+
+    # ------------------------------------------------------------------
+    # Moments of a single range
+    # ------------------------------------------------------------------
+
+    def count(self, rect: HyperRect) -> float:
+        """Number of tuples in the range."""
+        return float(self._run([VectorQuery.count(rect)])[0])
+
+    def average(self, rect: HyperRect, attribute: int) -> float:
+        """Mean of an attribute over the range (nan if the range is empty)."""
+        count, total = self._run(
+            [VectorQuery.count(rect), VectorQuery.sum(rect, attribute)]
+        )
+        return float(total / count) if count else float("nan")
+
+    def variance(self, rect: HyperRect, attribute: int) -> float:
+        """Population variance of an attribute over the range."""
+        count, total, squares = self._run(
+            [
+                VectorQuery.count(rect),
+                VectorQuery.sum(rect, attribute),
+                VectorQuery.sum_product(rect, attribute, attribute),
+            ]
+        )
+        if not count:
+            return float("nan")
+        mean = total / count
+        return float(squares / count - mean * mean)
+
+    def covariance(self, rect: HyperRect, attr_i: int, attr_j: int) -> float:
+        """Population covariance of two attributes over the range."""
+        count, sum_i, sum_j, cross = self._run(
+            [
+                VectorQuery.count(rect),
+                VectorQuery.sum(rect, attr_i),
+                VectorQuery.sum(rect, attr_j),
+                VectorQuery.sum_product(rect, attr_i, attr_j),
+            ]
+        )
+        if not count:
+            return float("nan")
+        return float(cross / count - (sum_i / count) * (sum_j / count))
+
+    def correlation(self, rect: HyperRect, attr_i: int, attr_j: int) -> float:
+        """Pearson correlation of two attributes over the range."""
+        count, s_i, s_j, ss_i, ss_j, cross = self._run(
+            [
+                VectorQuery.count(rect),
+                VectorQuery.sum(rect, attr_i),
+                VectorQuery.sum(rect, attr_j),
+                VectorQuery.sum_product(rect, attr_i, attr_i),
+                VectorQuery.sum_product(rect, attr_j, attr_j),
+                VectorQuery.sum_product(rect, attr_i, attr_j),
+            ]
+        )
+        if not count:
+            return float("nan")
+        var_i = ss_i / count - (s_i / count) ** 2
+        var_j = ss_j / count - (s_j / count) ** 2
+        cov = cross / count - (s_i / count) * (s_j / count)
+        denom = np.sqrt(var_i * var_j)
+        return float(cov / denom) if denom > 0 else float("nan")
+
+    def regression(self, rect: HyperRect, attr_x: int, attr_y: int) -> RegressionResult:
+        """OLS fit ``y ~ slope * x + intercept`` over tuples in the range."""
+        count, s_x, s_y, ss_x, cross = self._run(
+            [
+                VectorQuery.count(rect),
+                VectorQuery.sum(rect, attr_x),
+                VectorQuery.sum(rect, attr_y),
+                VectorQuery.sum_product(rect, attr_x, attr_x),
+                VectorQuery.sum_product(rect, attr_x, attr_y),
+            ]
+        )
+        if count < 2:
+            return RegressionResult(float("nan"), float("nan"), float(count))
+        var_x = ss_x / count - (s_x / count) ** 2
+        cov = cross / count - (s_x / count) * (s_y / count)
+        # Guard with a relative tolerance: the two moments arrive through a
+        # floating-point transform, so a degenerate x (all equal) leaves a
+        # tiny nonzero residual instead of an exact zero.
+        if var_x <= 1e-9 * max(1.0, abs(ss_x / count)):
+            return RegressionResult(float("nan"), float("nan"), float(count))
+        slope = cov / var_x
+        intercept = s_y / count - slope * (s_x / count)
+        return RegressionResult(float(slope), float(intercept), float(count))
+
+    # ------------------------------------------------------------------
+    # Across a partition
+    # ------------------------------------------------------------------
+
+    def anova(self, rects: Sequence[HyperRect], attribute: int) -> AnovaResult:
+        """One-way ANOVA of an attribute across the given groups.
+
+        All per-group COUNT/SUM/SUMPRODUCT queries run as a single shared
+        batch — 3 logical aggregates per group but far fewer retrievals.
+        """
+        if len(rects) < 2:
+            raise ValueError("ANOVA needs at least two groups")
+        queries: list[VectorQuery] = []
+        for rect in rects:
+            queries.append(VectorQuery.count(rect))
+            queries.append(VectorQuery.sum(rect, attribute))
+            queries.append(VectorQuery.sum_product(rect, attribute, attribute))
+        results = self._run(queries).reshape(len(rects), 3)
+        counts, sums, squares = results[:, 0], results[:, 1], results[:, 2]
+        occupied = counts > 0
+        if occupied.sum() < 2:
+            raise ValueError("ANOVA needs at least two non-empty groups")
+        counts, sums, squares = counts[occupied], sums[occupied], squares[occupied]
+        total_n = counts.sum()
+        grand_mean = sums.sum() / total_n
+        group_means = sums / counts
+        between = float(np.sum(counts * (group_means - grand_mean) ** 2))
+        within = float(np.sum(squares - counts * group_means**2))
+        df_between = int(counts.size - 1)
+        df_within = int(total_n - counts.size)
+        if df_within <= 0 or within <= 0:
+            f_stat = float("inf") if between > 0 else float("nan")
+        else:
+            f_stat = (between / df_between) / (within / df_within)
+        return AnovaResult(
+            f_statistic=float(f_stat),
+            between_groups_ss=between,
+            within_groups_ss=within,
+            df_between=df_between,
+            df_within=df_within,
+        )

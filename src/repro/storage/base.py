@@ -1,0 +1,121 @@
+"""The linear storage/evaluation strategy abstraction.
+
+"We can use any linear transformation of the data that has a left inverse
+as a storage strategy.  We can use the left inverse to rewrite query vectors
+to their representation in the transformation domain, giving us an
+evaluation strategy." (Section 1.2)
+
+A :class:`LinearStorage` owns a :class:`~repro.storage.counter.CountingStore`
+of transformed coefficients and knows how to *rewrite* a
+:class:`~repro.queries.vector_query.VectorQuery` into a sparse vector over
+the store's key space such that
+
+    answer(q) = sum_k  rewrite(q)[k] * store[k].
+
+Batch-Biggest-B (:mod:`repro.core.batch`) is written purely against this
+interface, so the same progressive engine runs over wavelet, prefix-sum and
+identity stores.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.queries.vector_query import VectorQuery
+from repro.storage.counter import CountingStore
+
+
+@dataclass(frozen=True)
+class KeyedVector:
+    """A sparse vector over a store's integer key space.
+
+    Shares the ``indices`` / ``values`` duck type with
+    :class:`~repro.wavelets.sparse.SparseTensor`, which is what
+    :class:`WaveletStorage` returns from ``rewrite``.
+    """
+
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.indices, dtype=np.int64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if indices.ndim != 1 or values.ndim != 1 or indices.size != values.size:
+            raise ValueError("indices and values must be 1-D arrays of equal size")
+        if indices.size > 1 and np.any(np.diff(indices) <= 0):
+            order = np.argsort(indices, kind="stable")
+            indices = indices[order]
+            values = values[order]
+            if np.any(np.diff(indices) == 0):
+                # Merge duplicates by summation.
+                uniq, inverse = np.unique(indices, return_inverse=True)
+                values = np.bincount(inverse, weights=values, minlength=uniq.size)
+                indices = uniq
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+
+class LinearStorage(ABC):
+    """Base class for linear storage/evaluation strategies."""
+
+    #: Human-readable strategy name for benchmark output.
+    strategy_name: str = "linear"
+
+    def __init__(self, shape: tuple[int, ...], store: CountingStore) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.store = store
+
+    @abstractmethod
+    def rewrite(self, query: VectorQuery):
+        """Rewrite a vector query into the store's key space.
+
+        Returns an object with sorted unique ``indices`` (int64) and aligned
+        ``values`` (float64) such that the exact answer is
+        ``sum(values * store[indices])``.
+        """
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by all strategies.
+    # ------------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def domain_size(self) -> int:
+        size = 1
+        for s in self.shape:
+            size *= s
+        return size
+
+    def answer(self, query: VectorQuery, counted: bool = True) -> float:
+        """Exact single-query answer through the store."""
+        rewritten = self.rewrite(query)
+        reader = self.store.fetch if counted else self.store.peek
+        coeffs = reader(rewritten.indices)
+        return float(coeffs @ rewritten.values)
+
+    def total_l1(self) -> float:
+        """``K = sum_k |store[k]|`` — the constant in Theorem 1's bound."""
+        return self.store.total_l1()
+
+    def total_l2_squared(self) -> float:
+        """``sum_k store[k]**2`` — for Cauchy-Schwarz error bounds."""
+        return self.store.total_l2_squared()
+
+    def reset_stats(self) -> None:
+        """Zero the retrieval counters."""
+        self.store.reset_stats()
+
+    @property
+    def stats(self):
+        """The store's :class:`~repro.storage.counter.IOStatistics`."""
+        return self.store.stats

@@ -1,0 +1,72 @@
+"""Identity storage: the no-precomputation baseline.
+
+The data frequency distribution is stored untransformed; the rewritten
+query vector is the query vector itself, so a range-sum must fetch every
+cell inside its range.  This is the degenerate linear strategy the paper
+mentions ("no precomputation") and serves as the most pessimistic
+comparator in the strategy ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.queries.vector_query import VectorQuery
+from repro.storage.base import KeyedVector, LinearStorage
+from repro.storage.counter import CountingStore
+from repro.util import check_shape
+
+#: Refuse to materialize rewritten queries larger than this (cells).
+DEFAULT_MAX_CELLS = 1 << 22
+
+
+class IdentityStorage(LinearStorage):
+    """Untransformed data; query rewrite is the query vector itself."""
+
+    strategy_name = "identity"
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        store: CountingStore,
+        max_cells: int = DEFAULT_MAX_CELLS,
+    ) -> None:
+        shape = check_shape(shape)
+        super().__init__(shape, store)
+        self.max_cells = int(max_cells)
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        backend: str = "dense",
+        max_cells: int = DEFAULT_MAX_CELLS,
+    ) -> "IdentityStorage":
+        """Store a dense data distribution as-is."""
+        data = np.asarray(data, dtype=np.float64)
+        shape = check_shape(data.shape)
+        store = CountingStore(data.size, backend=backend, values=data.ravel())
+        return cls(shape=shape, store=store, max_cells=max_cells)
+
+    def rewrite(self, query: VectorQuery) -> KeyedVector:
+        """The query vector itself, restricted to its range's support."""
+        query.rect.validate_for(self.shape)
+        volume = query.rect.volume
+        if volume > self.max_cells:
+            raise ValueError(
+                f"identity rewrite would touch {volume} cells "
+                f"(limit {self.max_cells}); use a precomputed strategy"
+            )
+        grids = np.meshgrid(
+            *[np.arange(lo, hi + 1, dtype=np.int64) for lo, hi in query.rect.bounds],
+            indexing="ij",
+        )
+        points = np.stack([g.ravel() for g in grids], axis=-1)
+        values = query.polynomial.evaluate(points.astype(np.float64))
+        flat = np.ravel_multi_index(
+            tuple(points[:, d] for d in range(points.shape[1])), self.shape
+        ).astype(np.int64)
+        keep = values != 0.0
+        return KeyedVector(indices=flat[keep], values=values[keep])

@@ -1,0 +1,135 @@
+"""Coefficient-to-disk layout strategies (the conclusion's open problem).
+
+"Foremost among these is the need to generalize importance functions to
+disk blocks rather than individual tuples.  Such a generalization is a step
+in the development of optimal disk layout strategies for wavelet data."
+(Section 7)
+
+A *layout* is a permutation of the coefficient key space: it decides which
+coefficients share a disk block.  Given a layout and a block size, the cost
+of a Batch-Biggest-B schedule is the number of distinct blocks it touches
+(an importance-ordered sweep reads each needed block at least once; with a
+large-enough buffer, exactly once).  This module implements three natural
+layouts and the evaluation harness the ablation bench uses:
+
+* ``linear`` — keys in flat C order (the naive baseline);
+* ``level_major`` — group coefficients by wavelet level-combination, coarse
+  first: range queries need *all* coarse coefficients but only boundary
+  fine ones, so coarse blocks are dense with useful keys;
+* ``hilbert_like`` — recursive bit-interleave of the per-dimension packed
+  indices, clustering coefficients whose supports overlap spatially.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util import check_shape, log2_int
+
+
+def linear_layout(shape: Sequence[int]) -> np.ndarray:
+    """Identity layout: position[key] = key."""
+    shape = check_shape(shape)
+    size = int(np.prod(shape))
+    return np.arange(size, dtype=np.int64)
+
+
+def _level_of_packed_index(index: np.ndarray, n: int) -> np.ndarray:
+    """Wavelet 'coarseness' of packed positions: 0 = scaling, J = finest.
+
+    Position 0 holds the full-depth approximation; positions in
+    ``[n >> j, n >> (j-1))`` hold level-``j`` details, which we map to
+    coarseness ``J - j + 1`` so that smaller means coarser.
+    """
+    levels = log2_int(n)
+    out = np.zeros(index.shape, dtype=np.int64)
+    nonzero = index > 0
+    # For packed index i > 0, the detail level j satisfies n >> j <= i.
+    out[nonzero] = levels - (np.floor(np.log2(index[nonzero])).astype(np.int64) + 1) + 1
+    # Map level j to coarseness J - j + 1 in [1, J].
+    out[nonzero] = levels + 1 - out[nonzero]
+    return out
+
+
+def level_major_layout(shape: Sequence[int]) -> np.ndarray:
+    """Sort keys by total coarseness (coarse first), then by key.
+
+    Returns ``position`` such that ``position[key]`` is the key's slot on
+    disk.  Coefficients that every range query needs (coarse scales) pack
+    into the leading blocks.
+    """
+    shape = check_shape(shape)
+    size = int(np.prod(shape))
+    keys = np.arange(size, dtype=np.int64)
+    multi = np.stack(np.unravel_index(keys, shape), axis=-1)
+    coarseness = np.zeros(size, dtype=np.int64)
+    for d, n in enumerate(shape):
+        coarseness += _level_of_packed_index(multi[:, d], n)
+    order = np.lexsort((keys, coarseness))
+    position = np.empty(size, dtype=np.int64)
+    position[order] = np.arange(size, dtype=np.int64)
+    return position
+
+
+def interleaved_layout(shape: Sequence[int]) -> np.ndarray:
+    """Bit-interleave the per-dimension packed indices (Z-order curve).
+
+    Clusters coefficients whose per-dimension positions are close — a cheap
+    stand-in for a Hilbert layout that keeps spatially related boundary
+    wavelets in the same blocks.
+    """
+    shape = check_shape(shape)
+    size = int(np.prod(shape))
+    keys = np.arange(size, dtype=np.int64)
+    multi = np.stack(np.unravel_index(keys, shape), axis=-1)
+    bits = [log2_int(n) for n in shape]
+    max_bits = max(bits) if bits else 0
+    z = np.zeros(size, dtype=np.int64)
+    shift = 0
+    for b in range(max_bits):
+        for d in range(len(shape)):
+            if b < bits[d]:
+                bit = (multi[:, d] >> b) & 1
+                z |= bit << shift
+                shift += 1
+    order = np.lexsort((keys, z))
+    position = np.empty(size, dtype=np.int64)
+    position[order] = np.arange(size, dtype=np.int64)
+    return position
+
+
+LAYOUTS = {
+    "linear": linear_layout,
+    "level-major": level_major_layout,
+    "interleaved": interleaved_layout,
+}
+
+
+def blocks_touched(
+    keys: np.ndarray, position: np.ndarray, block_size: int
+) -> int:
+    """Distinct blocks a key set touches under a layout.
+
+    This is the device-read cost of any schedule that reads each needed
+    block once (importance-major sweeps with a modest buffer achieve it).
+    """
+    keys = np.asarray(keys, dtype=np.int64).ravel()
+    if block_size < 1:
+        raise ValueError("block size must be >= 1")
+    blocks = position[keys] // block_size
+    return int(np.unique(blocks).size)
+
+
+def layout_cost_table(
+    keys: np.ndarray, shape: Sequence[int], block_sizes: Sequence[int]
+) -> dict[str, dict[int, int]]:
+    """Blocks touched per layout per block size for one master list."""
+    out: dict[str, dict[int, int]] = {}
+    for name, builder in LAYOUTS.items():
+        position = builder(shape)
+        out[name] = {
+            int(b): blocks_touched(keys, position, int(b)) for b in block_sizes
+        }
+    return out

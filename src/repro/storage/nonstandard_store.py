@@ -1,0 +1,72 @@
+"""Nonstandard-basis wavelet storage: an alternative linear strategy.
+
+Stores the data frequency distribution in the nonstandard (square)
+decomposition (:mod:`repro.wavelets.nonstandard`).  The basis is
+orthonormal, so Equation 2 holds and Batch-Biggest-B runs over this store
+unchanged — it simply needs more retrievals per range query than the
+standard tensor basis (the ablation bench ``bench_ablation_basis.py``
+measures the gap).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.queries.vector_query import VectorQuery
+from repro.storage.base import KeyedVector, LinearStorage
+from repro.storage.counter import CountingStore
+from repro.wavelets.filters import WaveletFilter, get_filter
+from repro.wavelets.nonstandard import (
+    NonstandardKeySpace,
+    ns_query_vector,
+    ns_wavedec,
+    ns_waverec,
+)
+
+
+class NonstandardWaveletStorage(LinearStorage):
+    """Data stored in the nonstandard multiresolution basis."""
+
+    strategy_name = "nonstandard-wavelet"
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        store: CountingStore,
+        wavelet: WaveletFilter | str = "db2",
+    ) -> None:
+        keyspace = NonstandardKeySpace(shape)
+        super().__init__(keyspace.shape, store)
+        self.keyspace = keyspace
+        self.filter = get_filter(wavelet)
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        wavelet: WaveletFilter | str = "db2",
+        backend: str = "dense",
+    ) -> "NonstandardWaveletStorage":
+        """Transform a dense distribution into the nonstandard basis."""
+        data = np.asarray(data, dtype=np.float64)
+        filt = get_filter(wavelet)
+        coeffs = ns_wavedec(data, filt)
+        store = CountingStore(coeffs.size, backend=backend, values=coeffs)
+        return cls(shape=data.shape, store=store, wavelet=filt)
+
+    def rewrite(self, query: VectorQuery) -> KeyedVector:
+        """Sparse nonstandard transform of the query vector."""
+        query.rect.validate_for(self.shape)
+        keys, values = ns_query_vector(
+            self.filter,
+            self.shape,
+            query.rect.bounds,
+            list(query.polynomial.monomials()),
+        )
+        return KeyedVector(indices=keys, values=values)
+
+    def reconstruct_data(self) -> np.ndarray:
+        """Invert the stored coefficients back to the data distribution."""
+        return ns_waverec(self.store.as_dense(), self.shape, self.filter)

@@ -1,0 +1,69 @@
+"""Small shared helpers: argument validation and dyadic arithmetic."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def check_power_of_two(n: int, what: str = "length") -> int:
+    """Validate that ``n`` is a positive power of two and return it.
+
+    Raises
+    ------
+    ValueError
+        If ``n`` is not a positive power of two.
+    """
+    if not isinstance(n, (int,)) or isinstance(n, bool):
+        raise TypeError(f"{what} must be an int, got {type(n).__name__}")
+    if not is_power_of_two(n):
+        raise ValueError(f"{what} must be a positive power of two, got {n}")
+    return n
+
+
+def log2_int(n: int) -> int:
+    """Exact base-2 logarithm of a power of two."""
+    check_power_of_two(n)
+    return n.bit_length() - 1
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two that is >= max(n, 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def check_shape(shape: Sequence[int]) -> tuple[int, ...]:
+    """Validate a domain shape: non-empty, every side a power of two."""
+    shape = tuple(int(s) for s in shape)
+    if not shape:
+        raise ValueError("domain shape must have at least one dimension")
+    for i, side in enumerate(shape):
+        check_power_of_two(side, what=f"shape[{i}]")
+    return shape
+
+
+def check_index_in_domain(index: Sequence[int], shape: Sequence[int]) -> tuple[int, ...]:
+    """Validate a tuple index against a domain shape."""
+    index = tuple(int(v) for v in index)
+    if len(index) != len(shape):
+        raise ValueError(
+            f"index has {len(index)} coordinates but domain has {len(shape)} dimensions"
+        )
+    for coord, side in zip(index, shape):
+        if not 0 <= coord < side:
+            raise ValueError(f"coordinate {coord} outside [0, {side})")
+    return index
+
+
+def prod(values: Iterable[int]) -> int:
+    """Integer product (math.prod, restated here to keep an int return type)."""
+    result = 1
+    for v in values:
+        result *= int(v)
+    return result

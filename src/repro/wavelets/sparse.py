@@ -1,0 +1,231 @@
+"""Sparse vectors and tensors over the packed wavelet coefficient space.
+
+Rewritten query vectors are sparse: a polynomial range-sum over a
+hyper-rectangle is separable per monomial, so its wavelet transform is a sum
+of outer products of *per-dimension* sparse vectors.  This module provides
+the two container types used throughout:
+
+:class:`SparseVector`
+    A sparse 1-D vector over ``range(n)`` with sorted unique integer indices,
+    backed by numpy arrays.
+:class:`SparseTensor`
+    A sparse d-dimensional array addressed by *flat* (C-order) indices into a
+    power-of-two domain, built from outer products of sparse vectors and
+    merged by summation.
+
+Both are value types: operations return new instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.util import prod
+
+#: Relative magnitude below which coefficients are treated as exact zeros.
+DEFAULT_RTOL = 1e-12
+
+
+@dataclass(frozen=True)
+class SparseVector:
+    """Sparse 1-D vector with sorted unique indices.
+
+    Attributes
+    ----------
+    n:
+        Logical length of the vector.
+    indices:
+        Sorted ``int64`` array of positions with nonzero values.
+    values:
+        ``float64`` array aligned with ``indices``.
+    """
+
+    n: int
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.indices, dtype=np.int64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if indices.ndim != 1 or values.ndim != 1 or indices.size != values.size:
+            raise ValueError("indices and values must be 1-D arrays of equal size")
+        if indices.size and (indices[0] < 0 or indices[-1] >= self.n):
+            raise ValueError("indices out of range")
+        if indices.size > 1 and np.any(np.diff(indices) <= 0):
+            raise ValueError("indices must be strictly increasing")
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "values", values)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, rtol: float = DEFAULT_RTOL) -> "SparseVector":
+        """Sparsify a dense vector, dropping entries below ``rtol * max|.|``."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 1:
+            raise ValueError("expected a 1-D array")
+        scale = float(np.max(np.abs(dense))) if dense.size else 0.0
+        if scale == 0.0:
+            return cls(n=dense.size, indices=np.empty(0, np.int64), values=np.empty(0))
+        mask = np.abs(dense) > rtol * scale
+        idx = np.nonzero(mask)[0].astype(np.int64)
+        return cls(n=dense.size, indices=idx, values=dense[idx])
+
+    @classmethod
+    def from_items(
+        cls, n: int, items: Iterable[tuple[int, float]], rtol: float = 0.0
+    ) -> "SparseVector":
+        """Build from ``(index, value)`` pairs; duplicate indices are summed."""
+        pairs = list(items)
+        if not pairs:
+            return cls(n=n, indices=np.empty(0, np.int64), values=np.empty(0))
+        idx = np.array([p[0] for p in pairs], dtype=np.int64)
+        val = np.array([p[1] for p in pairs], dtype=np.float64)
+        uniq, inverse = np.unique(idx, return_inverse=True)
+        summed = np.bincount(inverse, weights=val, minlength=uniq.size)
+        if rtol > 0.0 and summed.size:
+            scale = float(np.max(np.abs(summed)))
+            keep = np.abs(summed) > rtol * scale
+            uniq, summed = uniq[keep], summed[keep]
+        return cls(n=n, indices=uniq, values=summed)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.indices.size)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense numpy vector."""
+        dense = np.zeros(self.n, dtype=np.float64)
+        dense[self.indices] = self.values
+        return dense
+
+    def dot_dense(self, dense: np.ndarray) -> float:
+        """Inner product with a dense vector of length ``n``."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape != (self.n,):
+            raise ValueError(f"expected a vector of length {self.n}")
+        return float(dense[self.indices] @ self.values)
+
+    def scaled(self, factor: float) -> "SparseVector":
+        """Return ``factor * self``."""
+        return SparseVector(n=self.n, indices=self.indices, values=self.values * factor)
+
+    def items(self) -> Iterator[tuple[int, float]]:
+        """Iterate ``(index, value)`` pairs."""
+        for i, v in zip(self.indices.tolist(), self.values.tolist()):
+            yield i, v
+
+    def norm2(self) -> float:
+        """Euclidean norm."""
+        return float(np.sqrt(np.sum(self.values**2)))
+
+
+@dataclass(frozen=True)
+class SparseTensor:
+    """Sparse d-dimensional array addressed by flat C-order indices.
+
+    ``indices`` are sorted and unique; ``values`` are aligned.  Use
+    :meth:`from_outer` for a separable (rank-1) tensor and :meth:`sum_of` to
+    merge several tensors (e.g. one per monomial of a query polynomial).
+    """
+
+    shape: tuple[int, ...]
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        shape = tuple(int(s) for s in self.shape)
+        indices = np.asarray(self.indices, dtype=np.int64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if indices.ndim != 1 or values.ndim != 1 or indices.size != values.size:
+            raise ValueError("indices and values must be 1-D arrays of equal size")
+        size = prod(shape)
+        if indices.size and (indices[0] < 0 or indices[-1] >= size):
+            raise ValueError("flat indices out of range")
+        if indices.size > 1 and np.any(np.diff(indices) <= 0):
+            raise ValueError("flat indices must be strictly increasing")
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "values", values)
+
+    @classmethod
+    def from_outer(cls, factors: Sequence[SparseVector]) -> "SparseTensor":
+        """Outer product of per-dimension sparse vectors.
+
+        The resulting support is the Cartesian product of the factor
+        supports; values are products of factor values.  This is exactly how
+        a separable query vector transforms under the tensor-product DWT.
+        """
+        if not factors:
+            raise ValueError("need at least one factor")
+        shape = tuple(f.n for f in factors)
+        if any(f.nnz == 0 for f in factors):
+            return cls(shape=shape, indices=np.empty(0, np.int64), values=np.empty(0))
+        flat = factors[0].indices.astype(np.int64)
+        vals = factors[0].values.copy()
+        for f in factors[1:]:
+            flat = (flat[:, None] * f.n + f.indices[None, :]).ravel()
+            vals = (vals[:, None] * f.values[None, :]).ravel()
+        order = np.argsort(flat, kind="stable")
+        return cls(shape=shape, indices=flat[order], values=vals[order])
+
+    @classmethod
+    def sum_of(
+        cls, tensors: Sequence["SparseTensor"], rtol: float = DEFAULT_RTOL
+    ) -> "SparseTensor":
+        """Sum several tensors over the same shape, merging duplicates."""
+        if not tensors:
+            raise ValueError("need at least one tensor")
+        shape = tensors[0].shape
+        for t in tensors[1:]:
+            if t.shape != shape:
+                raise ValueError("all tensors must share a shape")
+        if len(tensors) == 1:
+            return tensors[0]
+        flat = np.concatenate([t.indices for t in tensors])
+        vals = np.concatenate([t.values for t in tensors])
+        uniq, inverse = np.unique(flat, return_inverse=True)
+        summed = np.bincount(inverse, weights=vals, minlength=uniq.size)
+        if rtol > 0.0 and summed.size:
+            scale = float(np.max(np.abs(summed)))
+            if scale > 0.0:
+                keep = np.abs(summed) > rtol * scale
+                uniq, summed = uniq[keep], summed[keep]
+        return cls(shape=shape, indices=uniq, values=summed)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.indices.size)
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense numpy array."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        dense.ravel()[self.indices] = self.values
+        return dense
+
+    def dot_dense(self, dense: np.ndarray) -> float:
+        """Inner product with a dense array of matching shape."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape != self.shape:
+            raise ValueError(f"expected an array of shape {self.shape}")
+        return float(dense.ravel()[self.indices] @ self.values)
+
+    def multi_indices(self) -> np.ndarray:
+        """Return the support as an ``(nnz, ndim)`` array of multi-indices."""
+        return np.stack(np.unravel_index(self.indices, self.shape), axis=-1)
+
+    def scaled(self, factor: float) -> "SparseTensor":
+        """Return ``factor * self``."""
+        return SparseTensor(shape=self.shape, indices=self.indices, values=self.values * factor)
+
+    def norm2(self) -> float:
+        """Euclidean (Frobenius) norm."""
+        return float(np.sqrt(np.sum(self.values**2)))

@@ -1,0 +1,213 @@
+"""Dense periodized orthonormal wavelet transforms.
+
+Conventions
+-----------
+* Signals have power-of-two length ``n`` and are transformed with circular
+  (periodized) boundary handling, so the transform is an orthonormal change
+  of basis on R^n: it preserves inner products exactly (Parseval), which is
+  what makes Equation (1)/(2) of the paper valid.
+* One decomposition level maps ``x`` to approximation ``a`` and detail ``d``:
+
+      a[i] = sum_k h[k] * x[(2i + k) mod n]
+      d[i] = sum_k g[k] * x[(2i + k) mod n]
+
+* The full multilevel transform (:func:`wavedec`) packs coefficients as
+
+      [ cA_J | cD_J | cD_{J-1} | ... | cD_1 ]
+
+  where level ``j`` details occupy the half-open slice
+  ``[n / 2**j, n / 2**(j-1))``.  With full depth ``J = log2(n)`` the single
+  scaling coefficient sits at index 0.
+* The d-dimensional transform (:func:`wavedec_nd`) applies the full 1-D
+  transform along every axis.  This is the standard tensor-product basis: a
+  separable array ``outer(u, v)`` transforms to ``outer(û, v̂)``, the fact
+  exploited by the sparse query transform.
+
+All functions accept arrays with arbitrary leading dimensions and operate on
+the trailing axis, so the multi-dimensional versions are loop-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import check_power_of_two, log2_int
+from repro.wavelets.filters import WaveletFilter, get_filter, resolve_filters
+
+
+def dwt_level(x: np.ndarray, filt: WaveletFilter | str) -> tuple[np.ndarray, np.ndarray]:
+    """One periodized decomposition level along the last axis.
+
+    Parameters
+    ----------
+    x:
+        Array whose last axis has even (power-of-two) length ``n``.
+    filt:
+        Filter or registry name.
+
+    Returns
+    -------
+    (approximation, detail):
+        Two arrays with last-axis length ``n // 2``.
+    """
+    filt = get_filter(filt)
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[-1]
+    check_power_of_two(n, what="signal length")
+    if n < 2:
+        raise ValueError("cannot decompose a length-1 signal")
+    half = n // 2
+    taps = filt.length
+    # Gather x[..., (2i + k) mod n] with shape (..., half, taps).
+    idx = (2 * np.arange(half)[:, None] + np.arange(taps)[None, :]) % n
+    windows = x[..., idx]
+    approx = windows @ filt.lowpass
+    detail = windows @ filt.highpass
+    return approx, detail
+
+
+def idwt_level(
+    approx: np.ndarray, detail: np.ndarray, filt: WaveletFilter | str
+) -> np.ndarray:
+    """Invert one decomposition level along the last axis."""
+    filt = get_filter(filt)
+    approx = np.asarray(approx, dtype=np.float64)
+    detail = np.asarray(detail, dtype=np.float64)
+    if approx.shape != detail.shape:
+        raise ValueError("approximation and detail must have the same shape")
+    half = approx.shape[-1]
+    n = 2 * half
+    out = np.zeros(approx.shape[:-1] + (n,), dtype=np.float64)
+    positions = 2 * np.arange(half)
+    for k in range(filt.length):
+        pos = (positions + k) % n
+        # For fixed k the positions are distinct, so fancy-index += is safe.
+        out[..., pos] += filt.lowpass[k] * approx + filt.highpass[k] * detail
+    return out
+
+
+def wavedec(
+    x: np.ndarray, filt: WaveletFilter | str, levels: int | None = None
+) -> np.ndarray:
+    """Full multilevel periodized DWT along the last axis, packed layout.
+
+    Parameters
+    ----------
+    x:
+        Array with power-of-two trailing length ``n``.
+    filt:
+        Filter or registry name.
+    levels:
+        Number of levels; defaults to the maximum ``log2(n)``.
+
+    Returns
+    -------
+    Array of the same shape holding ``[cA_J | cD_J | ... | cD_1]`` along the
+    last axis.
+    """
+    filt = get_filter(filt)
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[-1]
+    max_levels = log2_int(n)
+    if levels is None:
+        levels = max_levels
+    if not 0 <= levels <= max_levels:
+        raise ValueError(f"levels must be in [0, {max_levels}], got {levels}")
+    out = x.copy()
+    current = n
+    for _ in range(levels):
+        approx, detail = dwt_level(out[..., :current], filt)
+        half = current // 2
+        out[..., :half] = approx
+        out[..., half:current] = detail
+        current = half
+    return out
+
+
+def waverec(
+    coeffs: np.ndarray, filt: WaveletFilter | str, levels: int | None = None
+) -> np.ndarray:
+    """Invert :func:`wavedec` (packed layout) along the last axis."""
+    filt = get_filter(filt)
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    n = coeffs.shape[-1]
+    max_levels = log2_int(n)
+    if levels is None:
+        levels = max_levels
+    if not 0 <= levels <= max_levels:
+        raise ValueError(f"levels must be in [0, {max_levels}], got {levels}")
+    out = coeffs.copy()
+    current = n >> levels
+    for _ in range(levels):
+        doubled = 2 * current
+        rec = idwt_level(out[..., :current], out[..., current:doubled], filt)
+        out[..., :doubled] = rec
+        current = doubled
+    return out
+
+
+def wavedec_nd(
+    arr: np.ndarray,
+    filt: "WaveletFilter | str | tuple",
+    axes: tuple[int, ...] | None = None,
+) -> np.ndarray:
+    """Full tensor-product DWT: :func:`wavedec` applied along every axis.
+
+    Each axis length must be a power of two.  ``axes`` restricts the
+    transform to a subset of axes (used by storage strategies that keep some
+    dimensions untransformed).  ``filt`` may be a single filter or a
+    per-axis sequence (matched filters, see
+    :func:`repro.wavelets.filters.resolve_filters`).
+    """
+    arr = np.asarray(arr, dtype=np.float64)
+    filters = resolve_filters(filt, arr.ndim)
+    if axes is None:
+        axes = tuple(range(arr.ndim))
+    out = arr
+    for axis in axes:
+        moved = np.moveaxis(out, axis, -1)
+        moved = wavedec(moved, filters[axis])
+        out = np.moveaxis(moved, -1, axis)
+    return np.ascontiguousarray(out)
+
+
+def waverec_nd(
+    coeffs: np.ndarray,
+    filt: "WaveletFilter | str | tuple",
+    axes: tuple[int, ...] | None = None,
+) -> np.ndarray:
+    """Invert :func:`wavedec_nd`."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    filters = resolve_filters(filt, coeffs.ndim)
+    if axes is None:
+        axes = tuple(range(coeffs.ndim))
+    out = coeffs
+    for axis in axes:
+        moved = np.moveaxis(out, axis, -1)
+        moved = waverec(moved, filters[axis])
+        out = np.moveaxis(moved, -1, axis)
+    return np.ascontiguousarray(out)
+
+
+def detail_slice(n: int, level: int) -> slice:
+    """Packed-layout slice holding the level-``level`` detail coefficients.
+
+    ``level`` counts from 1 (finest) to ``log2(n)`` (coarsest).
+    """
+    check_power_of_two(n)
+    max_levels = log2_int(n)
+    if not 1 <= level <= max_levels:
+        raise ValueError(f"level must be in [1, {max_levels}], got {level}")
+    start = n >> level
+    return slice(start, 2 * start)
+
+
+def approx_slice(n: int, levels: int | None = None) -> slice:
+    """Packed-layout slice holding the coarsest approximation coefficients."""
+    check_power_of_two(n)
+    max_levels = log2_int(n)
+    if levels is None:
+        levels = max_levels
+    if not 0 <= levels <= max_levels:
+        raise ValueError(f"levels must be in [0, {max_levels}], got {levels}")
+    return slice(0, n >> levels)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def data_2d(rng: np.random.Generator) -> np.ndarray:
+    """A small dense 2-D data distribution."""
+    return rng.random((16, 16))
+
+
+@pytest.fixture
+def data_3d(rng: np.random.Generator) -> np.ndarray:
+    """A small dense 3-D data distribution."""
+    return rng.random((8, 16, 8))

@@ -1,0 +1,99 @@
+"""Unit tests for the baseline evaluators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import NaiveScanEvaluator, RoundRobinEvaluator, exact_answers
+from repro.core.batch import BatchBiggestB
+from repro.data.synthetic import uniform_dataset
+from repro.queries.range import HyperRect
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.queries.workload import partition_count_batch, random_rectangles
+from repro.storage.wavelet_store import WaveletStorage
+
+
+class TestRoundRobin:
+    def test_exact(self, rng, data_2d):
+        rects = random_rectangles((16, 16), 8, rng=rng)
+        batch = QueryBatch([VectorQuery.count(r) for r in rects])
+        store = WaveletStorage.build(data_2d, wavelet="db2")
+        ev = RoundRobinEvaluator(store, batch)
+        np.testing.assert_allclose(ev.run(), batch.exact_dense(data_2d), atol=1e-9)
+
+    def test_retrieval_count_is_unshared(self, rng, data_2d):
+        batch = partition_count_batch((16, 16), (4, 4), rng=rng)
+        store = WaveletStorage.build(data_2d, wavelet="haar")
+        rr = RoundRobinEvaluator(store, batch)
+        bbb = BatchBiggestB(store, batch)
+        assert rr.total_retrievals == bbb.unshared_retrievals
+        assert rr.total_retrievals > bbb.master_list_size
+        store.reset_stats()
+        rr.run()
+        assert store.stats.retrievals == rr.total_retrievals
+
+    def test_progressive_reaches_exact(self, rng, data_2d):
+        batch = partition_count_batch((16, 16), (2, 2), rng=rng)
+        store = WaveletStorage.build(data_2d, wavelet="haar")
+        ev = RoundRobinEvaluator(store, batch)
+        ck, snaps = ev.run_progressive([0, ev.total_retrievals])
+        np.testing.assert_allclose(snaps[0], 0.0)
+        np.testing.assert_allclose(snaps[-1], batch.exact_dense(data_2d), atol=1e-9)
+
+    def test_progressive_interleaves_queries(self, rng, data_2d):
+        """After s steps, every query has advanced exactly one coefficient."""
+        rects = random_rectangles((16, 16), 4, rng=rng)
+        batch = QueryBatch([VectorQuery.count(r) for r in rects])
+        store = WaveletStorage.build(data_2d, wavelet="haar")
+        ev = RoundRobinEvaluator(store, batch)
+        _, snaps = ev.run_progressive([batch.size])
+        # Each query's estimate equals its own single most important term.
+        for i, r in enumerate(ev.rewrites):
+            top = ev._orders[i][0]
+            coeff = store.store.peek(r.indices[top : top + 1])[0]
+            assert snaps[0][i] == pytest.approx(float(coeff * r.values[top]))
+
+    def test_round_robin_progression_is_wasteful(self, rng, data_2d):
+        """Matching Observation 1: round robin spends far more I/O."""
+        batch = partition_count_batch((16, 16), (4, 4), rng=rng)
+        store = WaveletStorage.build(data_2d, wavelet="haar")
+        rr = RoundRobinEvaluator(store, batch)
+        bbb = BatchBiggestB(store, batch)
+        assert rr.total_retrievals >= 2 * bbb.master_list_size
+
+
+class TestNaiveScan:
+    def test_matches_dense_oracle(self, rng):
+        rel = uniform_dataset((16, 16), 500, seed=3)
+        rects = random_rectangles((16, 16), 6, rng=rng)
+        batch = QueryBatch(
+            [VectorQuery.count(rects[0])]
+            + [VectorQuery.sum(r, 1) for r in rects[1:4]]
+            + [VectorQuery.sum_product(r, 0, 1) for r in rects[4:]]
+        )
+        ev = NaiveScanEvaluator(rel, batch)
+        np.testing.assert_allclose(
+            ev.run(), exact_answers(rel.frequency_distribution(), batch), atol=1e-9
+        )
+
+    def test_scan_cost_is_record_count(self):
+        rel = uniform_dataset((8, 8), 123, seed=0)
+        batch = QueryBatch([VectorQuery.count(HyperRect.full_domain((8, 8)))])
+        assert NaiveScanEvaluator(rel, batch).scan_cost == 123
+
+    def test_empty_range(self):
+        rel = uniform_dataset((8, 8), 50, seed=0)
+        # A range the data may or may not hit; compare against the oracle.
+        batch = QueryBatch([VectorQuery.count(HyperRect.from_bounds([(7, 7), (7, 7)]))])
+        ev = NaiveScanEvaluator(rel, batch)
+        np.testing.assert_allclose(
+            ev.run(), exact_answers(rel.frequency_distribution(), batch)
+        )
+
+
+class TestExactAnswers:
+    def test_oracle_consistency(self, rng, data_2d):
+        batch = partition_count_batch((16, 16), (4, 2), rng=rng)
+        answers = exact_answers(data_2d, batch)
+        assert answers.sum() == pytest.approx(float(data_2d.sum()))

@@ -1,0 +1,126 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.csvio import read_relation_csv
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "rel.csv"
+        code = main(
+            [
+                "generate",
+                "--dataset",
+                "uniform",
+                "--shape",
+                "16,16",
+                "--records",
+                "500",
+                str(out),
+            ]
+        )
+        assert code == 0
+        rel = read_relation_csv(out)
+        assert rel.num_records == 500
+        assert rel.shape == (16, 16)
+        assert "wrote 500 records" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_prints_report(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--dataset",
+                "uniform",
+                "--shape",
+                "16,16",
+                "--records",
+                "1000",
+                "--cells",
+                "2,2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharing factor" in out
+        assert "Theorem 2" in out
+
+    def test_penalty_choices(self, capsys):
+        for penalty in ("cursored", "laplacian", "l1", "linf"):
+            code = main(
+                [
+                    "explain",
+                    "--dataset",
+                    "uniform",
+                    "--shape",
+                    "16,16",
+                    "--records",
+                    "200",
+                    "--cells",
+                    "2,2",
+                    "--penalty",
+                    penalty,
+                ]
+            )
+            assert code == 0
+
+
+class TestRun:
+    def test_run_reaches_exact(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "uniform",
+                "--shape",
+                "32,32",
+                "--records",
+                "2000",
+                "--cells",
+                "4,4",
+                "--budget",
+                "32",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact at exhaustion: True" in out
+
+    def test_temperature_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "temperature",
+                "--shape",
+                "8,8,4,8,8",
+                "--records",
+                "5000",
+                "--cells",
+                "2,2,2,2",
+                "--budget",
+                "64",
+            ]
+        )
+        assert code == 0
+        assert "exact at exhaustion: True" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_bad_shape_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["explain", "--shape", "abc"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_penalty_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--penalty", "nope"])

@@ -1,0 +1,35 @@
+"""Unit tests for CSV round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.csvio import read_relation_csv, write_relation_csv
+from repro.data.synthetic import uniform_dataset
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        rel = uniform_dataset((8, 16), 200, seed=4)
+        path = tmp_path / "rel.csv"
+        write_relation_csv(rel, path)
+        back = read_relation_csv(path)
+        assert back.schema == rel.schema
+        np.testing.assert_array_equal(back.records, rel.records)
+
+    def test_empty_relation(self, tmp_path):
+        from repro.data.relation import Relation
+
+        rel = Relation.from_tuples([], shape=(4, 4), names=("x", "y"))
+        path = tmp_path / "empty.csv"
+        write_relation_csv(rel, path)
+        back = read_relation_csv(path)
+        assert back.num_records == 0
+        assert back.schema.names == ("x", "y")
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_relation_csv(path)

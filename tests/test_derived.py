@@ -1,0 +1,109 @@
+"""Unit tests for derived batches (linear views over batch results)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBiggestB
+from repro.queries.derived import DerivedBatch
+from repro.queries.workload import partition_count_batch
+from repro.storage.wavelet_store import WaveletStorage
+
+
+@pytest.fixture
+def setup(rng, data_2d):
+    batch = partition_count_batch((16, 16), (4, 2), rng=rng)
+    storage = WaveletStorage.build(data_2d, wavelet="haar")
+    return data_2d, storage, batch
+
+
+class TestConstructors:
+    def test_differences_default_chain(self, setup):
+        _, _, batch = setup
+        derived = DerivedBatch.differences(batch)
+        x = np.arange(batch.size, dtype=float)
+        np.testing.assert_allclose(derived.apply(x), -np.ones(batch.size - 1))
+
+    def test_rollup_sums_groups(self, setup):
+        _, _, batch = setup
+        derived = DerivedBatch.rollup(batch, [[0, 1], [2, 3, 4]])
+        x = np.arange(batch.size, dtype=float)
+        np.testing.assert_allclose(derived.apply(x), [1.0, 9.0])
+
+    def test_rollup_validates_members(self, setup):
+        _, _, batch = setup
+        with pytest.raises(ValueError):
+            DerivedBatch.rollup(batch, [[batch.size]])
+
+    def test_moving_average(self, setup):
+        _, _, batch = setup
+        derived = DerivedBatch.moving_average(batch, 2)
+        x = np.arange(batch.size, dtype=float)
+        np.testing.assert_allclose(derived.apply(x), np.arange(batch.size - 1) + 0.5)
+
+    def test_moving_average_window_validated(self, setup):
+        _, _, batch = setup
+        with pytest.raises(ValueError):
+            DerivedBatch.moving_average(batch, 0)
+        with pytest.raises(ValueError):
+            DerivedBatch.moving_average(batch, batch.size + 1)
+
+    def test_centered_view_sums_to_zero(self, setup):
+        _, _, batch = setup
+        derived = DerivedBatch.shares_of_total(batch)
+        x = np.arange(batch.size, dtype=float) + 3.0
+        assert derived.apply(x).sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_transform_arity_validated(self, setup):
+        _, _, batch = setup
+        with pytest.raises(ValueError):
+            DerivedBatch(batch, np.zeros((2, batch.size + 1)))
+
+
+class TestEndToEnd:
+    def test_derived_results_from_exact_run(self, setup):
+        data, storage, batch = setup
+        derived = DerivedBatch.differences(batch)
+        answers = BatchBiggestB(storage, batch).run()
+        exact = batch.exact_dense(data)
+        np.testing.assert_allclose(derived.apply(answers), derived.apply(exact), atol=1e-8)
+
+    def test_pullback_penalty_equals_derived_sse(self, setup, rng):
+        _, _, batch = setup
+        derived = DerivedBatch.rollup(batch, [[0, 1, 2], [3, 4], [5, 6, 7]])
+        penalty = derived.pullback_sse_penalty()
+        e = rng.normal(size=batch.size)
+        assert penalty(e) == pytest.approx(float(np.sum(derived.apply(e) ** 2)))
+
+    def test_optimizing_the_pullback_minimizes_derived_error_in_expectation(
+        self, setup
+    ):
+        """Theorem 2 through the pullback: the derived-SSE optimizer leaves
+        less derived-importance mass than the plain SSE optimizer."""
+        data, storage, batch = setup
+        derived = DerivedBatch.differences(batch)
+        pullback = derived.pullback_sse_penalty()
+        ev_derived = BatchBiggestB(storage, batch, penalty=pullback)
+        from repro.core.penalties import SsePenalty
+
+        ev_plain = BatchBiggestB(
+            storage, batch, penalty=SsePenalty(),
+            rewrites=ev_derived.rewrites, plan=ev_derived.plan,
+        )
+        iota = ev_derived.importance
+        b = ev_derived.master_list_size // 3
+        own = float(iota[ev_derived.order[b:]].sum())
+        cross = float(iota[ev_plain.order[b:]].sum())
+        assert own <= cross * (1 + 1e-12)
+
+    def test_progressive_derived_exact_at_exhaustion(self, setup):
+        data, storage, batch = setup
+        derived = DerivedBatch.moving_average(batch, 3)
+        ev = BatchBiggestB(storage, batch, penalty=derived.pullback_sse_penalty())
+        _, snaps = ev.run_progressive([ev.master_list_size])
+        np.testing.assert_allclose(
+            derived.apply(snaps[-1]),
+            derived.apply(batch.exact_dense(data)),
+            atol=1e-8,
+        )

@@ -1,0 +1,81 @@
+"""Unit tests for the batch-plan EXPLAIN facility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBiggestB
+from repro.core.explain import explain
+from repro.core.penalties import LpPenalty, SsePenalty
+from repro.queries.workload import partition_count_batch
+from repro.storage.wavelet_store import WaveletStorage
+
+
+@pytest.fixture
+def setup(rng, data_2d):
+    batch = partition_count_batch((16, 16), (4, 4), rng=rng)
+    storage = WaveletStorage.build(data_2d, wavelet="haar")
+    return storage, batch
+
+
+class TestExplain:
+    def test_matches_evaluator_accounting(self, setup):
+        storage, batch = setup
+        report = explain(storage, batch)
+        evaluator = BatchBiggestB(storage, batch)
+        assert report.master_list_size == evaluator.master_list_size
+        assert report.unshared_retrievals == evaluator.unshared_retrievals
+        assert report.sharing_factor == pytest.approx(
+            evaluator.unshared_retrievals / evaluator.master_list_size
+        )
+        assert report.batch_size == batch.size
+
+    def test_per_query_stats(self, setup):
+        storage, batch = setup
+        report = explain(storage, batch)
+        nnz = [storage.rewrite(q).nnz for q in batch]
+        assert report.per_query_nnz_min == min(nnz)
+        assert report.per_query_nnz_max == max(nnz)
+        assert report.per_query_nnz_median == pytest.approx(float(np.median(nnz)))
+
+    def test_expected_penalty_matches_theorem2(self, setup):
+        storage, batch = setup
+        report = explain(storage, batch)
+        evaluator = BatchBiggestB(storage, batch)
+        for b, forecast in report.expected_penalty_at.items():
+            assert forecast == pytest.approx(evaluator.expected_penalty(b), rel=1e-12)
+
+    def test_bound_budget_is_minimal(self, setup):
+        storage, batch = setup
+        target = 10.0
+        report = explain(storage, batch, bound_targets=(target,))
+        budget = report.bound_budgets[f"{target:g}"]
+        evaluator = BatchBiggestB(storage, batch)
+        assert evaluator.worst_case_bound(budget) <= target
+        if budget > 0:
+            assert evaluator.worst_case_bound(budget - 1) > target
+
+    def test_non_quadratic_penalty_skips_expectations(self, setup):
+        storage, batch = setup
+        report = explain(storage, batch, penalty=LpPenalty(1.0))
+        assert report.expected_penalty_at == {}
+
+    def test_no_data_coefficients_fetched(self, setup):
+        storage, batch = setup
+        storage.reset_stats()
+        explain(storage, batch, penalty=SsePenalty(), bound_targets=(1.0,))
+        assert storage.stats.retrievals == 0
+
+    def test_lines_render(self, setup):
+        storage, batch = setup
+        report = explain(storage, batch, bound_targets=(1.0,))
+        text = "\n".join(report.lines())
+        assert "sharing factor" in text
+        assert "Theorem 1" in text
+        assert "Theorem 2" in text
+
+    def test_top_decile_share_in_unit_interval(self, setup):
+        storage, batch = setup
+        report = explain(storage, batch)
+        assert 0.0 < report.importance_top_decile_share <= 1.0

@@ -1,0 +1,156 @@
+"""Unit tests for the wavelet filter bank construction."""
+
+from __future__ import annotations
+
+from math import sqrt
+
+import numpy as np
+import pytest
+
+from repro.wavelets.filters import (
+    WaveletFilter,
+    daubechies_filter,
+    filter_for_degree,
+    get_filter,
+)
+
+
+class TestDaubechiesConstruction:
+    def test_haar_is_db1(self):
+        f = daubechies_filter(1)
+        assert f.name == "haar"
+        np.testing.assert_allclose(f.lowpass, np.array([1.0, 1.0]) / sqrt(2.0))
+
+    def test_db2_matches_closed_form(self):
+        s = sqrt(3.0)
+        expected = np.array([1 + s, 3 + s, 3 - s, 1 - s]) / (4 * sqrt(2.0))
+        np.testing.assert_allclose(daubechies_filter(2).lowpass, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("p", range(1, 11))
+    def test_length_is_two_p(self, p):
+        assert daubechies_filter(p).length == 2 * p
+
+    @pytest.mark.parametrize("p", range(1, 11))
+    def test_lowpass_sums_to_sqrt2(self, p):
+        assert abs(float(np.sum(daubechies_filter(p).lowpass)) - sqrt(2.0)) < 1e-9
+
+    @pytest.mark.parametrize("p", range(1, 11))
+    def test_unit_norm(self, p):
+        h = daubechies_filter(p).lowpass
+        assert abs(float(np.sum(h * h)) - 1.0) < 1e-9
+
+    @pytest.mark.parametrize("p", range(1, 11))
+    def test_double_shift_orthogonality(self, p):
+        h = daubechies_filter(p).lowpass
+        for m in range(1, p):
+            assert abs(float(np.dot(h[: h.size - 2 * m], h[2 * m :]))) < 1e-9
+
+    @pytest.mark.parametrize("p", range(1, 9))
+    def test_vanishing_moments(self, p):
+        """The highpass filter annihilates polynomials of degree < p."""
+        g = daubechies_filter(p).highpass
+        k = np.arange(g.size, dtype=np.float64)
+        for degree in range(p):
+            assert abs(float(np.sum(g * k**degree))) < 1e-7
+
+    def test_extremal_phase_orientation(self):
+        """Energy is concentrated in the leading taps (classical db family)."""
+        for p in range(2, 8):
+            h = daubechies_filter(p).lowpass
+            front = float(np.sum(h[: h.size // 2] ** 2))
+            assert front > 0.5
+
+    def test_caching_returns_same_object(self):
+        assert daubechies_filter(3) is daubechies_filter(3)
+
+    @pytest.mark.parametrize("p", [0, -1, 17])
+    def test_rejects_out_of_range_moments(self, p):
+        with pytest.raises(ValueError):
+            daubechies_filter(p)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            daubechies_filter(2.0)
+
+
+class TestHighpass:
+    @pytest.mark.parametrize("p", range(1, 9))
+    def test_quadrature_mirror_relation(self, p):
+        f = daubechies_filter(p)
+        signs = np.where(np.arange(f.length) % 2 == 0, 1.0, -1.0)
+        np.testing.assert_allclose(f.highpass, signs * f.lowpass[::-1])
+
+    @pytest.mark.parametrize("p", range(1, 9))
+    def test_highpass_zero_mean(self, p):
+        assert abs(float(np.sum(daubechies_filter(p).highpass))) < 1e-9
+
+    @pytest.mark.parametrize("p", range(1, 9))
+    def test_cross_orthogonality(self, p):
+        f = daubechies_filter(p)
+        h, g = f.lowpass, f.highpass
+        for m in range(-(p - 1), p):
+            shift = 2 * m
+            if shift >= 0:
+                dot = float(np.dot(h[: h.size - shift], g[shift:])) if shift < h.size else 0.0
+            else:
+                dot = float(np.dot(h[-shift:], g[: h.size + shift]))
+            assert abs(dot) < 1e-9
+
+
+class TestRegistry:
+    def test_haar_name(self):
+        assert get_filter("haar").name == "haar"
+        assert get_filter("HAAR").name == "haar"
+        assert get_filter("db1").name == "haar"
+
+    def test_db_names(self):
+        for p in range(2, 8):
+            assert get_filter(f"db{p}").vanishing_moments == p
+
+    def test_tap_count_alias(self):
+        # The paper's "Db4" means 4 taps = 2 vanishing moments.
+        assert get_filter("D4").vanishing_moments == 2
+        assert get_filter("d8").vanishing_moments == 4
+
+    def test_passthrough(self):
+        f = daubechies_filter(3)
+        assert get_filter(f) is f
+
+    @pytest.mark.parametrize("name", ["dbx", "d3", "wavelet", "Dzz", ""])
+    def test_rejects_unknown(self, name):
+        with pytest.raises(ValueError):
+            get_filter(name)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            get_filter(4)
+
+
+class TestFilterForDegree:
+    @pytest.mark.parametrize("degree,expected_p", [(0, 1), (1, 2), (2, 3), (3, 4)])
+    def test_filter_length_2delta_plus_2(self, degree, expected_p):
+        f = filter_for_degree(degree)
+        assert f.vanishing_moments == expected_p
+        assert f.length == 2 * degree + 2
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ValueError):
+            filter_for_degree(-1)
+
+    def test_max_polynomial_degree(self):
+        assert daubechies_filter(3).max_polynomial_degree() == 2
+
+
+class TestValidation:
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            WaveletFilter(name="bad", lowpass=np.ones(3) / sqrt(3), vanishing_moments=1)
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError):
+            WaveletFilter(name="bad", lowpass=np.array([1.0, 0.0]), vanishing_moments=1)
+
+    def test_rejects_non_orthogonal(self):
+        taps = np.array([0.6, 0.6, 0.1, 0.1142135623])
+        with pytest.raises(ValueError):
+            WaveletFilter(name="bad", lowpass=taps, vanishing_moments=2)

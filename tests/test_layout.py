@@ -1,0 +1,95 @@
+"""Unit tests for coefficient disk-layout strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBiggestB
+from repro.queries.workload import partition_count_batch
+from repro.storage.layout import (
+    LAYOUTS,
+    blocks_touched,
+    interleaved_layout,
+    layout_cost_table,
+    level_major_layout,
+    linear_layout,
+)
+from repro.storage.wavelet_store import WaveletStorage
+
+
+class TestLayoutsArePermutations:
+    @pytest.mark.parametrize("name", sorted(LAYOUTS))
+    @pytest.mark.parametrize("shape", [(8,), (8, 16), (4, 4, 8)])
+    def test_permutation(self, name, shape):
+        position = LAYOUTS[name](shape)
+        size = int(np.prod(shape))
+        assert position.shape == (size,)
+        assert np.array_equal(np.sort(position), np.arange(size))
+
+    def test_linear_is_identity(self):
+        np.testing.assert_array_equal(linear_layout((4, 4)), np.arange(16))
+
+    def test_level_major_puts_scaling_first(self):
+        position = level_major_layout((16,))
+        # The packed index 0 (full-depth scaling coefficient) is coarsest.
+        assert position[0] == 0
+        # Finest-level details (indices 8..15) land at the end.
+        assert set(position[8:16]) == set(range(8, 16))
+
+    def test_interleaved_groups_nearby_indices(self):
+        position = interleaved_layout((8, 8))
+        # Z-order: (0,0), (0,1), (1,0), (1,1) occupy the first four slots.
+        first_four = {int(position[i * 8 + j]) for i in (0, 1) for j in (0, 1)}
+        assert first_four == {0, 1, 2, 3}
+
+
+class TestBlocksTouched:
+    def test_counts_distinct_blocks(self):
+        position = np.arange(16)
+        keys = np.array([0, 1, 7, 8])  # blocks 0, 0, 1, 2
+        assert blocks_touched(keys, position, block_size=4) == 3
+
+    def test_block_size_one_counts_keys(self):
+        position = np.arange(16)
+        keys = np.array([3, 9, 11])
+        assert blocks_touched(keys, position, block_size=1) == 3
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            blocks_touched(np.array([0]), np.arange(4), 0)
+
+
+class TestLayoutCostTable:
+    def test_costs_monotone_in_block_size(self, rng, data_2d):
+        """Bigger blocks can only reduce the number of blocks touched."""
+        storage = WaveletStorage.build(data_2d, wavelet="haar")
+        batch = partition_count_batch((16, 16), (4, 4), rng=rng)
+        evaluator = BatchBiggestB(storage, batch)
+        keys = evaluator.plan.keys
+        table = layout_cost_table(keys, (16, 16), block_sizes=(1, 4, 16, 64))
+        for name, costs in table.items():
+            sizes = sorted(costs)
+            for a, b in zip(sizes, sizes[1:]):
+                assert costs[a] >= costs[b]
+            # And never fewer blocks than the pigeonhole minimum.
+            for size in sizes:
+                assert costs[size] >= -(-keys.size // size) or costs[size] >= 1
+
+    def test_costs_bounded_by_key_count(self, rng, data_2d):
+        storage = WaveletStorage.build(data_2d, wavelet="haar")
+        batch = partition_count_batch((16, 16), (2, 2), rng=rng)
+        evaluator = BatchBiggestB(storage, batch)
+        keys = evaluator.plan.keys
+        table = layout_cost_table(keys, (16, 16), block_sizes=(4,))
+        for name in table:
+            assert table[name][4] <= keys.size
+
+    def test_all_layouts_agree_at_block_size_one(self, rng, data_2d):
+        storage = WaveletStorage.build(data_2d, wavelet="haar")
+        batch = partition_count_batch((16, 16), (2, 2), rng=rng)
+        evaluator = BatchBiggestB(storage, batch)
+        keys = evaluator.plan.keys
+        table = layout_cost_table(keys, (16, 16), block_sizes=(1,))
+        counts = {table[name][1] for name in table}
+        assert counts == {keys.size}

@@ -1,0 +1,104 @@
+"""Unit tests for the blocked (local) prefix-sum strategy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBiggestB
+from repro.queries.range import HyperRect
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.queries.workload import partition_count_batch, random_rectangles
+from repro.storage.local_prefix_sum import LocalPrefixSumStorage, _dim_weights
+from repro.storage.prefix_sum import PrefixSumStorage
+
+
+class TestDimWeights:
+    @pytest.mark.parametrize("block", [1, 2, 4, 8, 16])
+    @pytest.mark.parametrize("lo,hi", [(0, 15), (3, 9), (7, 7), (0, 0), (5, 15)])
+    def test_weights_recover_range_sum(self, block, lo, hi, rng):
+        n = 16
+        arr = rng.random(n)
+        prefix = arr.copy()
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            prefix[start:stop] = np.cumsum(prefix[start:stop])
+        weights = _dim_weights(n, block, lo, hi)
+        got = sum(w * prefix[pos] for pos, w in weights.items())
+        assert got == pytest.approx(float(arr[lo : hi + 1].sum()))
+
+    def test_block_one_touches_every_cell(self):
+        weights = _dim_weights(16, 1, 3, 9)
+        assert weights.nnz == 7
+
+    def test_full_block_touches_two_positions_per_block(self):
+        weights = _dim_weights(16, 4, 2, 13)
+        # Blocks 0..3 intersected; only the first needs a subtraction.
+        assert weights.nnz == 4 + 1
+
+
+class TestLocalPrefixSumStorage:
+    @pytest.mark.parametrize("block", [1, 2, 4, 16])
+    def test_count_matches_dense(self, block, data_2d):
+        store = LocalPrefixSumStorage.build(data_2d, block_size=block)
+        q = VectorQuery.count(HyperRect.from_bounds([(3, 12), (1, 9)]))
+        assert store.answer(q) == pytest.approx(q.evaluate_dense(data_2d), rel=1e-9)
+
+    def test_block_equal_to_side_matches_plain_prefix_sum(self, data_2d):
+        local = LocalPrefixSumStorage.build(data_2d, block_size=16)
+        plain = PrefixSumStorage.build(data_2d)
+        q = VectorQuery.count(HyperRect.from_bounds([(2, 13), (4, 11)]))
+        local_rw = local.rewrite(q)
+        plain_rw = plain.rewrite(q)
+        assert local_rw.nnz == plain_rw.nnz == 4
+        assert local.answer(q) == pytest.approx(plain.answer(q))
+
+    def test_moments_supported(self, data_2d):
+        store = LocalPrefixSumStorage.build(
+            data_2d, block_size=4, moments=[(0, 0), (1, 0)]
+        )
+        q = VectorQuery.sum(HyperRect.from_bounds([(5, 14), (0, 15)]), 0)
+        assert store.answer(q) == pytest.approx(q.evaluate_dense(data_2d), rel=1e-9)
+
+    def test_missing_moment_raises(self, data_2d):
+        store = LocalPrefixSumStorage.build(data_2d, block_size=4)
+        q = VectorQuery.sum(HyperRect.from_bounds([(0, 3), (0, 3)]), 0)
+        with pytest.raises(KeyError):
+            store.rewrite(q)
+
+    def test_query_cost_grows_as_block_shrinks(self, data_2d):
+        q = VectorQuery.count(HyperRect.from_bounds([(1, 14), (1, 14)]))
+        costs = []
+        for block in (16, 4, 1):
+            store = LocalPrefixSumStorage.build(data_2d, block_size=block)
+            costs.append(store.rewrite(q).nnz)
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_update_cost_shrinks_with_block(self):
+        data = np.zeros((16, 16))
+        big = LocalPrefixSumStorage.build(data, block_size=16)
+        small = LocalPrefixSumStorage.build(data, block_size=2)
+        assert small.update_cost() < big.update_cost()
+
+    def test_rejects_bad_block(self, data_2d):
+        with pytest.raises(ValueError):
+            LocalPrefixSumStorage.build(data_2d, block_size=0)
+
+    def test_batch_biggest_b_exact(self, rng, data_2d):
+        rects = random_rectangles((16, 16), 8, rng=rng)
+        batch = QueryBatch([VectorQuery.count(r) for r in rects])
+        store = LocalPrefixSumStorage.build(data_2d, block_size=4)
+        got = BatchBiggestB(store, batch).run()
+        np.testing.assert_allclose(got, batch.exact_dense(data_2d), rtol=1e-9)
+
+    def test_partition_batch_shares_corners(self, rng, data_2d):
+        batch = partition_count_batch((16, 16), (4, 4), rng=rng)
+        store = LocalPrefixSumStorage.build(data_2d, block_size=4)
+        ev = BatchBiggestB(store, batch)
+        assert ev.master_list_size < ev.unshared_retrievals
+        np.testing.assert_allclose(ev.run(), batch.exact_dense(data_2d), rtol=1e-8)
+
+    def test_non_power_of_two_block_allowed(self, data_2d):
+        store = LocalPrefixSumStorage.build(data_2d, block_size=3)
+        q = VectorQuery.count(HyperRect.from_bounds([(0, 15), (2, 13)]))
+        assert store.answer(q) == pytest.approx(q.evaluate_dense(data_2d), rel=1e-9)

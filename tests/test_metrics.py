@@ -1,0 +1,75 @@
+"""Unit tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    mean_relative_error,
+    mean_relative_error_curve,
+    normalized_penalty,
+    normalized_penalty_curve,
+    normalized_sse,
+)
+from repro.core.penalties import SsePenalty, WeightedSsePenalty
+
+
+class TestMeanRelativeError:
+    def test_basic(self):
+        exact = np.array([10.0, 100.0])
+        est = np.array([11.0, 90.0])
+        assert mean_relative_error(est, exact) == pytest.approx((0.1 + 0.1) / 2)
+
+    def test_ignores_zero_cells(self):
+        exact = np.array([0.0, 100.0])
+        est = np.array([5.0, 110.0])
+        assert mean_relative_error(est, exact) == pytest.approx(0.1)
+
+    def test_all_zero_exact_matched(self):
+        assert mean_relative_error(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_all_zero_exact_mismatched(self):
+        assert mean_relative_error(np.ones(3), np.zeros(3)) == float("inf")
+
+    def test_exact_estimates_give_zero(self):
+        exact = np.array([1.0, -2.0, 3.0])
+        assert mean_relative_error(exact, exact) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.zeros(2), np.zeros(3))
+
+    def test_curve(self):
+        exact = np.array([10.0, 10.0])
+        snaps = np.array([[5.0, 5.0], [10.0, 10.0]])
+        np.testing.assert_allclose(
+            mean_relative_error_curve(snaps, exact), [0.5, 0.0]
+        )
+
+
+class TestNormalizedPenalty:
+    def test_sse_normalization(self):
+        exact = np.array([3.0, 4.0])  # SSE(exact) = 25
+        est = np.array([3.0, 3.0])  # error (0, -1), SSE = 1
+        assert normalized_sse(est, exact) == pytest.approx(1 / 25)
+
+    def test_weighted(self):
+        penalty = WeightedSsePenalty([1.0, 4.0])
+        exact = np.array([1.0, 1.0])  # p = 5
+        est = np.array([0.0, 1.0])  # err (-1, 0), p = 1
+        assert normalized_penalty(penalty, est, exact) == pytest.approx(1 / 5)
+
+    def test_zero_denominator_raises(self):
+        with pytest.raises(ValueError):
+            normalized_penalty(SsePenalty(), np.ones(2), np.zeros(2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_penalty(SsePenalty(), np.zeros(2), np.zeros(3))
+
+    def test_curve_monotone_for_improving_estimates(self):
+        exact = np.array([2.0, 2.0])
+        snaps = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        curve = normalized_penalty_curve(SsePenalty(), snaps, exact)
+        assert curve[0] > curve[1] > curve[2] == 0.0

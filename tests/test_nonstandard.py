@@ -1,0 +1,160 @@
+"""Unit tests for the nonstandard decomposition and its storage strategy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBiggestB
+from repro.queries.range import HyperRect
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.queries.workload import random_rectangles
+from repro.storage.nonstandard_store import NonstandardWaveletStorage
+from repro.storage.wavelet_store import WaveletStorage
+from repro.wavelets.nonstandard import (
+    NonstandardKeySpace,
+    ns_query_vector,
+    ns_wavedec,
+    ns_waverec,
+)
+
+FILTERS = ["haar", "db2"]
+
+
+class TestKeySpace:
+    def test_size_matches_domain(self):
+        for shape in [(8, 8), (16, 16), (8, 8, 8)]:
+            ks = NonstandardKeySpace(shape)
+            assert ks.size == int(np.prod(shape))
+
+    def test_band_slices_tile_the_space(self):
+        ks = NonstandardKeySpace((8, 8))
+        covered = np.zeros(ks.size, dtype=int)
+        covered[0] += 1
+        for level in range(1, ks.levels + 1):
+            for band in range(1, ks.num_bands + 1):
+                sl = ks.band_slice(level, band)
+                covered[sl] += 1
+        assert np.all(covered == 1)
+
+    def test_rejects_non_hypercube(self):
+        with pytest.raises(ValueError):
+            NonstandardKeySpace((8, 16))
+
+    def test_encode_validation(self):
+        ks = NonstandardKeySpace((8, 8))
+        with pytest.raises(ValueError):
+            ks.encode(0, 1, 0)
+        with pytest.raises(ValueError):
+            ks.encode(1, 4, 0)
+
+
+class TestTransform:
+    @pytest.mark.parametrize("filt", FILTERS)
+    @pytest.mark.parametrize("shape", [(8, 8), (16, 16), (4, 4, 4)])
+    def test_roundtrip(self, filt, shape, rng):
+        arr = rng.normal(size=shape)
+        coeffs = ns_wavedec(arr, filt)
+        np.testing.assert_allclose(ns_waverec(coeffs, shape, filt), arr, atol=1e-9)
+
+    @pytest.mark.parametrize("filt", FILTERS)
+    def test_parseval(self, filt, rng):
+        arr = rng.normal(size=(16, 16))
+        coeffs = ns_wavedec(arr, filt)
+        assert float(np.sum(coeffs**2)) == pytest.approx(float(np.sum(arr**2)))
+
+    def test_constant_concentrates(self):
+        arr = np.full((8, 8), 2.0)
+        coeffs = ns_wavedec(arr, "haar")
+        assert coeffs[0] == pytest.approx(2.0 * 8.0)
+        np.testing.assert_allclose(coeffs[1:], 0.0, atol=1e-10)
+
+    def test_1d_matches_standard_basis(self, rng):
+        """In one dimension the nonstandard and standard bases coincide
+        (up to the packed ordering)."""
+        from repro.wavelets.transform import wavedec
+
+        x = rng.normal(size=16)
+        ns = ns_wavedec(x, "db2")
+        std = wavedec(x, "db2")
+        np.testing.assert_allclose(np.sort(np.abs(ns)), np.sort(np.abs(std)), atol=1e-9)
+
+
+class TestQueryVector:
+    @pytest.mark.parametrize("filt", FILTERS)
+    def test_inner_product_identity(self, filt, rng):
+        arr = rng.random((16, 16))
+        coeffs = ns_wavedec(arr, filt)
+        bounds = [(3, 11), (5, 14)]
+        keys, vals = ns_query_vector(filt, (16, 16), bounds, [((0, 0), 1.0)])
+        direct = float(arr[3:12, 5:15].sum())
+        assert float(coeffs[keys] @ vals) == pytest.approx(direct, rel=1e-9)
+
+    def test_degree_one_identity(self, rng):
+        arr = rng.random((16, 16))
+        coeffs = ns_wavedec(arr, "db2")
+        keys, vals = ns_query_vector("db2", (16, 16), [(2, 13), (0, 15)], [((1, 0), 1.0)])
+        direct = sum(
+            x0 * arr[x0, x1] for x0 in range(2, 14) for x1 in range(16)
+        )
+        assert float(coeffs[keys] @ vals) == pytest.approx(direct, rel=1e-8)
+
+    def test_query_vector_is_the_transform_of_the_dense_vector(self):
+        q = VectorQuery.count(HyperRect.from_bounds([(1, 5), (2, 7)]))
+        dense = q.dense_vector((8, 8))
+        full = ns_wavedec(dense, "haar")
+        keys, vals = ns_query_vector("haar", (8, 8), [(1, 5), (2, 7)], [((0, 0), 1.0)])
+        sparse = np.zeros(64)
+        sparse[keys] = vals
+        np.testing.assert_allclose(sparse, full, atol=1e-10)
+
+    def test_standard_basis_is_sparser_for_ranges(self):
+        """The design-choice fact: standard beats nonstandard on query
+        sparsity for range indicators — O(log^d N) vs O(range) — and the
+        gap widens with the domain size (why ProPolyne uses the standard
+        basis)."""
+        ratios = []
+        for n in (32, 128, 512):
+            rect = HyperRect.from_bounds(
+                [(n // 8 + 1, 3 * n // 4), (n // 4, 7 * n // 8)]
+            )
+            q = VectorQuery.count(rect)
+            standard_nnz = q.wavelet_tensor("haar", (n, n)).nnz
+            keys, _ = ns_query_vector("haar", (n, n), rect.bounds, [((0, 0), 1.0)])
+            assert standard_nnz < keys.size
+            ratios.append(keys.size / standard_nnz)
+        assert ratios[0] < ratios[-1]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ns_query_vector("haar", (8, 8), [(0, 9), (0, 7)], [((0, 0), 1.0)])
+
+
+class TestNonstandardStorage:
+    def test_exact_answers(self, rng):
+        data = rng.random((16, 16))
+        store = NonstandardWaveletStorage.build(data, wavelet="db2")
+        rects = random_rectangles((16, 16), 6, rng=rng)
+        batch = QueryBatch([VectorQuery.count(r) for r in rects])
+        got = BatchBiggestB(store, batch).run()
+        np.testing.assert_allclose(got, batch.exact_dense(data), rtol=1e-8)
+
+    def test_reconstruct(self, rng):
+        data = rng.random((8, 8))
+        store = NonstandardWaveletStorage.build(data, wavelet="haar")
+        np.testing.assert_allclose(store.reconstruct_data(), data, atol=1e-9)
+
+    def test_costs_more_than_standard(self, rng):
+        data = rng.random((64, 64))
+        ns_store = NonstandardWaveletStorage.build(data, wavelet="haar")
+        std_store = WaveletStorage.build(data, wavelet="haar")
+        rects = random_rectangles((64, 64), 8, rng=rng, min_extent=16)
+        batch = QueryBatch([VectorQuery.count(r) for r in rects])
+        ns_ev = BatchBiggestB(ns_store, batch)
+        std_ev = BatchBiggestB(std_store, batch)
+        np.testing.assert_allclose(ns_ev.run(), std_ev.run(), rtol=1e-8)
+        assert std_ev.master_list_size < ns_ev.master_list_size
+
+    def test_rejects_non_hypercube(self, rng):
+        with pytest.raises(ValueError):
+            NonstandardWaveletStorage.build(rng.random((8, 16)))

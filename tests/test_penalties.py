@@ -1,0 +1,300 @@
+"""Unit tests for structural error penalty functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.penalties import (
+    CombinedPenalty,
+    CursoredSsePenalty,
+    LaplacianPenalty,
+    LpPenalty,
+    QuadraticFormPenalty,
+    QuadraticPenalty,
+    SsePenalty,
+    WeightedSsePenalty,
+)
+
+
+def reference_importance(penalty, columns: np.ndarray) -> np.ndarray:
+    """Definition 3 applied per key: iota(key) = p(column of coefficients)."""
+    return np.array([penalty.column_importance(col) for col in columns])
+
+
+def entries_from_columns(columns: np.ndarray):
+    """Flatten a dense (num_keys, batch) coefficient matrix to plan entries."""
+    key_pos, qid = np.nonzero(columns)
+    return (
+        key_pos.astype(np.int64),
+        qid.astype(np.int64),
+        columns[key_pos, qid],
+        columns.shape[0],
+        columns.shape[1],
+    )
+
+
+@pytest.fixture
+def columns(rng):
+    cols = rng.normal(size=(30, 6))
+    cols[rng.random((30, 6)) < 0.5] = 0.0
+    return cols
+
+
+class TestSsePenalty:
+    def test_value(self):
+        p = SsePenalty()
+        assert p(np.array([3.0, 4.0])) == pytest.approx(25.0)
+        assert p(np.zeros(5)) == 0.0
+
+    def test_homogeneity(self):
+        p = SsePenalty()
+        e = np.array([1.0, -2.0, 0.5])
+        assert p(3 * e) == pytest.approx(9 * p(e))
+        assert p(-e) == pytest.approx(p(e))
+
+    def test_importance_matches_reference(self, columns):
+        p = SsePenalty()
+        got = p.importance_entries(*entries_from_columns(columns))
+        np.testing.assert_allclose(got, reference_importance(p, columns), atol=1e-12)
+
+    def test_is_quadratic(self):
+        assert SsePenalty().is_quadratic
+
+
+class TestWeightedSse:
+    def test_value(self):
+        p = WeightedSsePenalty([2.0, 0.0, 1.0])
+        assert p(np.array([1.0, 5.0, 2.0])) == pytest.approx(2.0 + 0.0 + 4.0)
+
+    def test_semi_definite_weights_allowed(self):
+        """Zero weights say 'this error is irrelevant' (Definition 2)."""
+        p = WeightedSsePenalty([0.0, 1.0])
+        assert p(np.array([100.0, 0.0])) == 0.0
+
+    def test_importance_matches_reference(self, columns):
+        p = WeightedSsePenalty(np.array([1.0, 2.0, 0.0, 0.5, 4.0, 1.0]))
+        got = p.importance_entries(*entries_from_columns(columns))
+        np.testing.assert_allclose(got, reference_importance(p, columns), atol=1e-12)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            WeightedSsePenalty([-1.0])
+
+    def test_form_matrix(self):
+        p = WeightedSsePenalty([4.0, 9.0])
+        np.testing.assert_allclose(p.form_matrix(), np.diag([4.0, 9.0]))
+
+
+class TestCursoredSse:
+    def test_weights(self):
+        p = CursoredSsePenalty(5, high_priority=[1, 3], high_weight=10.0)
+        np.testing.assert_allclose(p.weights, [1, 10, 1, 10, 1])
+        assert p.high_priority == {1, 3}
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            CursoredSsePenalty(3, high_priority=[5])
+
+    def test_prioritizes_cursor_errors(self):
+        p = CursoredSsePenalty(4, high_priority=[0])
+        err_cursor = np.array([1.0, 0, 0, 0])
+        err_far = np.array([0, 1.0, 0, 0])
+        assert p(err_cursor) == pytest.approx(10 * p(err_far))
+
+
+class TestLaplacian:
+    def test_chain_value(self):
+        p = LaplacianPenalty.chain(4)
+        constant = np.full(4, 2.5)
+        assert p(constant) == pytest.approx(0.0, abs=1e-12)
+        spike = np.array([0.0, 1.0, 0.0, 0.0])
+        lap = np.array([-1.0, 2.0, -1.0, 0.0])  # L @ spike (interior node)
+        assert p(spike) == pytest.approx(float(np.sum(lap**2)))
+
+    def test_penalizes_false_extrema_over_uniform_shift(self):
+        """A bump (false local max) is worse than a constant offset."""
+        p = LaplacianPenalty.chain(5)
+        bump = np.array([0.0, 0.0, 1.0, 0.0, 0.0])
+        shift = np.ones(5) * (np.linalg.norm(bump) / np.sqrt(5))
+        assert p(bump) > p(shift)
+
+    def test_importance_matches_reference(self, columns):
+        p = LaplacianPenalty.chain(6)
+        got = p.importance_entries(*entries_from_columns(columns))
+        np.testing.assert_allclose(got, reference_importance(p, columns), atol=1e-10)
+
+    def test_grid(self):
+        p = LaplacianPenalty.grid((2, 3))
+        assert p(np.ones(6)) == pytest.approx(0.0, abs=1e-12)
+        assert p.batch_size == 6
+
+    def test_from_edges(self):
+        p = LaplacianPenalty.from_edges(3, [(0, 1), (1, 2)])
+        chain = LaplacianPenalty.chain(3)
+        e = np.array([1.0, -0.5, 2.0])
+        assert p(e) == pytest.approx(chain(e))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            LaplacianPenalty.from_edges(3, [(1, 1)])
+
+
+class TestQuadraticForm:
+    def test_matches_explicit_form(self, rng):
+        m = rng.normal(size=(4, 4))
+        form = m.T @ m
+        p = QuadraticFormPenalty(form)
+        e = rng.normal(size=4)
+        assert p(e) == pytest.approx(float(e @ form @ e), rel=1e-9)
+
+    def test_importance_matches_reference(self, rng, columns):
+        m = rng.normal(size=(6, 6))
+        p = QuadraticFormPenalty(m.T @ m)
+        got = p.importance_entries(*entries_from_columns(columns))
+        np.testing.assert_allclose(got, reference_importance(p, columns), rtol=1e-8)
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(ValueError):
+            QuadraticFormPenalty(np.array([[1.0, 0.0], [0.0, -1.0]]))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            QuadraticFormPenalty(np.array([[1.0, 1.0], [0.0, 1.0]]))
+
+    def test_semi_definite_accepted(self):
+        form = np.array([[1.0, 1.0], [1.0, 1.0]])  # rank 1, PSD
+        p = QuadraticFormPenalty(form)
+        assert p(np.array([1.0, -1.0])) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestLpPenalty:
+    @pytest.mark.parametrize("p_val", [1.0, 2.0, 3.0])
+    def test_is_the_lp_norm(self, p_val, rng):
+        e = rng.normal(size=8)
+        assert LpPenalty(p_val)(e) == pytest.approx(
+            float(np.linalg.norm(e, p_val)), rel=1e-12
+        )
+
+    def test_linf(self):
+        p = LpPenalty(np.inf)
+        assert p(np.array([1.0, -7.0, 3.0])) == pytest.approx(7.0)
+
+    def test_homogeneity_degree_one(self):
+        p = LpPenalty(3.0)
+        e = np.array([1.0, 2.0])
+        assert p(5 * e) == pytest.approx(5 * p(e))
+        assert p.homogeneity == 1.0
+
+    def test_importance_matches_reference(self, columns):
+        for p_val in (1.0, 2.5, np.inf):
+            p = LpPenalty(p_val)
+            got = p.importance_entries(*entries_from_columns(columns))
+            np.testing.assert_allclose(
+                got, reference_importance(p, columns), atol=1e-12
+            )
+
+    def test_not_quadratic(self):
+        assert not LpPenalty(2.0).is_quadratic
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            LpPenalty(0.5)
+
+
+class TestCombinedPenalty:
+    def test_value_is_weighted_sum(self, rng):
+        sse = SsePenalty()
+        weighted = WeightedSsePenalty(np.arange(1.0, 7.0))
+        combo = CombinedPenalty([(2.0, sse), (0.5, weighted)])
+        e = rng.normal(size=6)
+        assert combo(e) == pytest.approx(2 * sse(e) + 0.5 * weighted(e))
+
+    def test_importance_is_weighted_sum(self, columns):
+        sse = SsePenalty()
+        lap = LaplacianPenalty.chain(6)
+        combo = CombinedPenalty([(1.0, sse), (3.0, lap)])
+        entries = entries_from_columns(columns)
+        np.testing.assert_allclose(
+            combo.importance_entries(*entries),
+            sse.importance_entries(*entries) + 3 * lap.importance_entries(*entries),
+            atol=1e-10,
+        )
+
+    def test_quadratic_combination_is_quadratic(self):
+        combo = CombinedPenalty([(1.0, SsePenalty()), (1.0, LaplacianPenalty.chain(4))])
+        assert combo.is_quadratic
+        assert combo.homogeneity == 2.0
+
+    def test_rejects_mixed_homogeneity(self):
+        with pytest.raises(ValueError):
+            CombinedPenalty([(1.0, SsePenalty()), (1.0, LpPenalty(2.0))])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            CombinedPenalty([(-1.0, SsePenalty())])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CombinedPenalty([])
+
+
+class TestQuadraticPenaltyGeneric:
+    def test_from_factor_roundtrip(self, rng):
+        factor = rng.normal(size=(3, 5))
+        factor[np.abs(factor) < 0.8] = 0.0
+        p = QuadraticPenalty.from_factor(factor)
+        np.testing.assert_allclose(p.factor_dense(), factor)
+        e = rng.normal(size=5)
+        assert p(e) == pytest.approx(float(np.sum((factor @ e) ** 2)), rel=1e-10)
+
+    def test_batch_size_mismatch_raises(self, columns):
+        p = WeightedSsePenalty(np.ones(3))
+        with pytest.raises(ValueError):
+            p.importance_entries(*entries_from_columns(columns))
+
+
+class TestDifferencePenalty:
+    def test_chain_differences(self):
+        from repro.core.penalties import DifferencePenalty
+
+        p = DifferencePenalty(4)
+        e = np.array([1.0, 3.0, 0.0, 0.0])
+        assert p(e) == pytest.approx((1 - 3) ** 2 + (3 - 0) ** 2 + 0.0)
+
+    def test_constant_offset_is_free(self):
+        from repro.core.penalties import DifferencePenalty
+
+        p = DifferencePenalty(5)
+        assert p(np.full(5, 7.5)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_custom_edges(self):
+        from repro.core.penalties import DifferencePenalty
+
+        p = DifferencePenalty(3, edges=[(0, 2)])
+        assert p(np.array([1.0, 100.0, 4.0])) == pytest.approx(9.0)
+
+    def test_importance_matches_reference(self, columns):
+        from repro.core.penalties import DifferencePenalty
+
+        p = DifferencePenalty(6)
+        got = p.importance_entries(*entries_from_columns(columns))
+        np.testing.assert_allclose(got, reference_importance(p, columns), atol=1e-10)
+
+    def test_is_quadratic_and_semidefinite(self):
+        from repro.core.penalties import DifferencePenalty
+
+        p = DifferencePenalty(3)
+        assert p.is_quadratic
+        # Semi-definite: the all-ones direction has zero penalty.
+        assert p(np.ones(3)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_edges(self):
+        from repro.core.penalties import DifferencePenalty
+
+        with pytest.raises(ValueError):
+            DifferencePenalty(3, edges=[(1, 1)])
+        with pytest.raises(ValueError):
+            DifferencePenalty(3, edges=[(0, 5)])
+        with pytest.raises(ValueError):
+            DifferencePenalty(1)

@@ -1,0 +1,74 @@
+"""Unit tests for the sparse point-mass transform (streaming updates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import log2_int
+from repro.wavelets.point import point_coefficients_1d, point_tensor
+from repro.wavelets.transform import wavedec, wavedec_nd
+
+FILTERS = ["haar", "db2", "db3"]
+
+
+class TestPoint1d:
+    @pytest.mark.parametrize("filt", FILTERS)
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_matches_dense_transform(self, filt, n):
+        for x in {0, 1, n // 2, n - 1}:
+            dense = np.zeros(n)
+            dense[x] = 1.0
+            sv = point_coefficients_1d(filt, n, x)
+            np.testing.assert_allclose(sv.to_dense(), wavedec(dense, filt), atol=1e-10)
+
+    def test_haar_sparsity(self):
+        """Haar point mass: exactly log2(n) details + 1 scaling coefficient."""
+        for n in (8, 64, 512):
+            sv = point_coefficients_1d("haar", n, n // 3)
+            assert sv.nnz == log2_int(n) + 1
+
+    @pytest.mark.parametrize("filt,window", [("db2", 3), ("db3", 5)])
+    def test_sparsity_bound(self, filt, window):
+        """At most O(filter_length) coefficients per level."""
+        n = 1024
+        sv = point_coefficients_1d(filt, n, 700)
+        assert sv.nnz <= (window + 1) * (log2_int(n) + 1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            point_coefficients_1d("haar", 8, 8)
+        with pytest.raises(ValueError):
+            point_coefficients_1d("haar", 8, -1)
+
+
+class TestPointTensor:
+    @pytest.mark.parametrize("filt", ["haar", "db2"])
+    def test_matches_dense_transform(self, filt):
+        shape = (8, 16)
+        coords = (3, 11)
+        dense = np.zeros(shape)
+        dense[coords] = 1.0
+        tensor = point_tensor(filt, shape, coords)
+        np.testing.assert_allclose(tensor.to_dense(), wavedec_nd(dense, filt), atol=1e-10)
+
+    def test_3d(self):
+        shape = (4, 8, 4)
+        coords = (1, 5, 3)
+        dense = np.zeros(shape)
+        dense[coords] = 1.0
+        tensor = point_tensor("db2", shape, coords)
+        np.testing.assert_allclose(tensor.to_dense(), wavedec_nd(dense, "db2"), atol=1e-10)
+
+    def test_rejects_bad_coords(self):
+        with pytest.raises(ValueError):
+            point_tensor("haar", (8, 8), (8, 0))
+        with pytest.raises(ValueError):
+            point_tensor("haar", (8, 8), (1,))
+
+    def test_update_cost_polylogarithmic(self):
+        """Touched coefficients ~ (L log N)^d, far below the domain size."""
+        shape = (64, 64)
+        tensor = point_tensor("db2", shape, (17, 45))
+        assert tensor.nnz <= (4 * (log2_int(64) + 1)) ** 2
+        assert tensor.nnz < 64 * 64 / 4

@@ -1,0 +1,111 @@
+"""Unit tests for multivariate polynomials."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries.polynomial import Polynomial
+
+
+class TestConstruction:
+    def test_constant(self):
+        p = Polynomial.constant(3, 2.0)
+        assert p.terms == (((0, 0, 0), 2.0),)
+        assert p.is_constant()
+
+    def test_attribute(self):
+        p = Polynomial.attribute(3, 1)
+        assert p.terms == (((0, 1, 0), 1.0),)
+        assert p.degree == 1
+
+    def test_product(self):
+        p = Polynomial.product(2, 0, 1)
+        assert p.terms == (((1, 1), 1.0),)
+
+    def test_product_same_attribute_squares(self):
+        p = Polynomial.product(2, 0, 0)
+        assert p.terms == (((2, 0), 1.0),)
+        assert p.degree == 2
+
+    def test_merges_duplicate_terms(self):
+        p = Polynomial(2, (((1, 0), 1.0), ((1, 0), 2.0)))
+        assert p.terms == (((1, 0), 3.0),)
+
+    def test_drops_zero_terms(self):
+        p = Polynomial(2, (((1, 0), 1.0), ((1, 0), -1.0)))
+        assert p.terms == (((0, 0), 0.0),)
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Polynomial(2, (((1,), 1.0),))
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            Polynomial(1, (((-1,), 1.0),))
+
+    def test_rejects_attribute_out_of_range(self):
+        with pytest.raises(ValueError):
+            Polynomial.attribute(2, 2)
+
+
+class TestAlgebra:
+    def test_addition(self):
+        p = Polynomial.attribute(2, 0) + Polynomial.attribute(2, 1)
+        assert dict(p.monomials()) == {(1, 0): 1.0, (0, 1): 1.0}
+
+    def test_scalar_multiplication(self):
+        p = 3 * Polynomial.attribute(2, 0)
+        assert p.terms == (((1, 0), 3.0),)
+
+    def test_polynomial_multiplication(self):
+        x = Polynomial.attribute(1, 0)
+        one = Polynomial.constant(1, 1.0)
+        p = (x + one) * (x - one)
+        assert dict(p.monomials()) == {(2,): 1.0, (0,): -1.0}
+
+    def test_subtraction_and_negation(self):
+        x = Polynomial.attribute(1, 0)
+        assert (x - x).terms == (((0,), 0.0),)
+        assert (-x).terms == (((1,), -1.0),)
+
+    def test_degrees(self):
+        p = Polynomial.from_dict(2, {(2, 1): 1.0, (0, 3): 1.0})
+        assert p.degree == 3
+        assert p.total_degree == 3
+        q = Polynomial.from_dict(2, {(2, 2): 1.0})
+        assert q.degree == 2
+        assert q.total_degree == 4
+
+
+class TestEvaluation:
+    def test_evaluate_points(self):
+        p = Polynomial.from_dict(2, {(1, 0): 2.0, (0, 2): 1.0, (0, 0): -3.0})
+        pts = np.array([[0, 0], [1, 2], [3, 1]])
+        np.testing.assert_allclose(p.evaluate(pts), [-3.0, 3.0, 4.0])
+
+    def test_evaluate_grid(self):
+        p = Polynomial.from_dict(2, {(1, 1): 1.0})
+        grid = p.evaluate_grid((3, 4))
+        expected = np.outer(np.arange(3), np.arange(4))
+        np.testing.assert_allclose(grid, expected)
+
+    def test_evaluate_grid_constant(self):
+        p = Polynomial.constant(2, 7.0)
+        np.testing.assert_allclose(p.evaluate_grid((2, 2)), 7.0)
+
+    def test_grid_matches_pointwise(self, rng):
+        p = Polynomial.from_dict(3, {(1, 0, 2): 0.5, (0, 1, 0): -1.0, (0, 0, 0): 2.0})
+        shape = (4, 4, 4)
+        grid = p.evaluate_grid(shape)
+        pts = np.stack(np.meshgrid(*[np.arange(s) for s in shape], indexing="ij"), -1)
+        np.testing.assert_allclose(
+            grid.ravel(), p.evaluate(pts.reshape(-1, 3)), atol=1e-12
+        )
+
+    def test_evaluate_shape_checks(self):
+        p = Polynomial.constant(2)
+        with pytest.raises(ValueError):
+            p.evaluate(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            p.evaluate_grid((4,))

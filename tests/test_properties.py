@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These pin down the algebraic identities everything else rests on:
+
+* the DWT is an orthonormal bijection (round-trip + Parseval);
+* query rewriting preserves inner products (Equation 2) for arbitrary
+  ranges, degrees and filters;
+* the closed-form Haar boundary coefficients equal the dense transform;
+* streaming point updates equal bulk rebuilds;
+* prefix-sum corner expansion equals direct summation;
+* Batch-Biggest-B is exact for arbitrary batches on arbitrary data;
+* importance functions match Definition 3 applied column-by-column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import BatchBiggestB
+from repro.core.penalties import (
+    CursoredSsePenalty,
+    LaplacianPenalty,
+    LpPenalty,
+    SsePenalty,
+)
+from repro.core.plan import QueryPlan
+from repro.queries.range import HyperRect
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.storage.base import KeyedVector
+from repro.storage.prefix_sum import PrefixSumStorage
+from repro.storage.wavelet_store import WaveletStorage
+from repro.wavelets.point import point_coefficients_1d
+from repro.wavelets.query_transform import (
+    haar_indicator_coefficients,
+    vector_coefficients_1d,
+)
+from repro.wavelets.transform import wavedec, waverec
+
+FILTER_NAMES = st.sampled_from(["haar", "db2", "db3", "db4"])
+SIZES = st.sampled_from([2, 4, 8, 16, 32, 64])
+
+
+@st.composite
+def signal(draw):
+    n = draw(SIZES)
+    values = draw(
+        st.lists(
+            st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.array(values)
+
+
+@st.composite
+def interval(draw, n: int):
+    lo = draw(st.integers(0, n - 1))
+    hi = draw(st.integers(lo, n - 1))
+    return lo, hi
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=signal(), filt=FILTER_NAMES)
+def test_dwt_roundtrip(x, filt):
+    np.testing.assert_allclose(waverec(wavedec(x, filt), filt), x, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=signal(), filt=FILTER_NAMES)
+def test_dwt_parseval(x, filt):
+    c = wavedec(x, filt)
+    np.testing.assert_allclose(np.sum(c * c), np.sum(x * x), rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), filt=FILTER_NAMES, degree=st.integers(0, 2))
+def test_query_rewrite_preserves_inner_products(data, filt, degree):
+    """Equation 2 for random 1-D polynomial range-sums."""
+    n = data.draw(SIZES)
+    lo, hi = data.draw(interval(n))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    vec = rng.normal(size=n)
+    sv = vector_coefficients_1d(filt, n, lo, hi, degree=degree)
+    dense_q = np.zeros(n)
+    xs = np.arange(lo, hi + 1, dtype=float)
+    dense_q[lo : hi + 1] = xs**degree
+    direct = float(dense_q @ vec)
+    via = sv.dot_dense(wavedec(vec, filt))
+    np.testing.assert_allclose(via, direct, rtol=1e-8, atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_haar_closed_form_equals_dense(data):
+    n = data.draw(SIZES)
+    lo, hi = data.draw(interval(n))
+    closed = haar_indicator_coefficients(n, lo, hi)
+    dense = np.zeros(n)
+    dense[lo : hi + 1] = 1.0
+    np.testing.assert_allclose(closed.to_dense(), wavedec(dense, "haar"), atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), filt=FILTER_NAMES)
+def test_point_transform_equals_dense(data, filt):
+    n = data.draw(SIZES)
+    x = data.draw(st.integers(0, n - 1))
+    dense = np.zeros(n)
+    dense[x] = 1.0
+    sv = point_coefficients_1d(filt, n, x)
+    np.testing.assert_allclose(sv.to_dense(), wavedec(dense, filt), atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_streaming_updates_equal_bulk_build(data):
+    filt = data.draw(FILTER_NAMES)
+    n = data.draw(st.sampled_from([4, 8, 16]))
+    coords = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    dense = np.zeros((n, n))
+    streaming = WaveletStorage.empty((n, n), wavelet=filt)
+    for c in coords:
+        dense[c] += 1.0
+        streaming.insert(c)
+    bulk = WaveletStorage.build(dense, wavelet=filt)
+    np.testing.assert_allclose(
+        streaming.store.as_dense(), bulk.store.as_dense(), atol=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_prefix_sum_corners_equal_direct_sum(data):
+    n = data.draw(st.sampled_from([4, 8, 16]))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    arr = rng.random((n, n))
+    lo0, hi0 = data.draw(interval(n))
+    lo1, hi1 = data.draw(interval(n))
+    store = PrefixSumStorage.build(arr)
+    q = VectorQuery.count(HyperRect.from_bounds([(lo0, hi0), (lo1, hi1)]))
+    direct = float(arr[lo0 : hi0 + 1, lo1 : hi1 + 1].sum())
+    np.testing.assert_allclose(store.answer(q, counted=False), direct, rtol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_batch_biggest_b_exact_for_random_batches(data):
+    filt = data.draw(st.sampled_from(["haar", "db2"]))
+    n = data.draw(st.sampled_from([8, 16]))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    arr = rng.random((n, n))
+    queries = []
+    for _ in range(data.draw(st.integers(1, 6))):
+        lo0, hi0 = data.draw(interval(n))
+        lo1, hi1 = data.draw(interval(n))
+        rect = HyperRect.from_bounds([(lo0, hi0), (lo1, hi1)])
+        kind = data.draw(st.sampled_from(["count", "sum"]))
+        if kind == "count":
+            queries.append(VectorQuery.count(rect))
+        else:
+            queries.append(VectorQuery.sum(rect, data.draw(st.integers(0, 1))))
+    batch = QueryBatch(queries)
+    store = WaveletStorage.build(arr, wavelet=filt)
+    got = BatchBiggestB(store, batch).run()
+    np.testing.assert_allclose(got, batch.exact_dense(arr), rtol=1e-7, atol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_importance_matches_definition_3(data):
+    """Vectorized importance equals the penalty applied to each column."""
+    num_keys = data.draw(st.integers(1, 15))
+    batch_size = data.draw(st.integers(1, 6))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    columns = rng.normal(size=(num_keys, batch_size))
+    columns[rng.random(columns.shape) < 0.4] = 0.0
+    rewrites = [
+        KeyedVector(
+            indices=np.nonzero(columns[:, q])[0].astype(np.int64),
+            values=columns[np.nonzero(columns[:, q])[0], q],
+        )
+        for q in range(batch_size)
+    ]
+    if all(r.nnz == 0 for r in rewrites):
+        return
+    plan = QueryPlan.from_rewrites(rewrites)
+    used_keys = plan.keys  # subset of row indices with any nonzero
+    penalties = [
+        SsePenalty(),
+        LaplacianPenalty.chain(batch_size) if batch_size >= 2 else SsePenalty(),
+        LpPenalty(1.0),
+        CursoredSsePenalty(batch_size, high_priority=[0]),
+    ]
+    for penalty in penalties:
+        got = plan.importance(penalty)
+        expected = np.array(
+            [penalty.column_importance(columns[k]) for k in used_keys]
+        )
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_theorem1_bound_never_violated(data):
+    """Observed penalty <= Theorem 1 bound at a random checkpoint."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    arr = rng.normal(size=(8, 8))
+    queries = []
+    for _ in range(3):
+        lo0, hi0 = data.draw(interval(8))
+        lo1, hi1 = data.draw(interval(8))
+        queries.append(VectorQuery.count(HyperRect.from_bounds([(lo0, hi0), (lo1, hi1)])))
+    batch = QueryBatch(queries)
+    store = WaveletStorage.build(arr, wavelet="haar")
+    penalty = SsePenalty()
+    ev = BatchBiggestB(store, batch, penalty=penalty)
+    b = data.draw(st.integers(0, ev.master_list_size))
+    _, snaps = ev.run_progressive([b])
+    observed = penalty(snaps[0] - batch.exact_dense(arr))
+    assert observed <= ev.worst_case_bound(b) * (1 + 1e-9) + 1e-12

@@ -1,0 +1,165 @@
+"""Unit tests for the sparse query transform (the ProPolyne machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import log2_int
+from repro.wavelets.query_transform import (
+    haar_indicator_coefficients,
+    monomial_tensor,
+    query_tensor,
+    vector_coefficients_1d,
+)
+from repro.wavelets.transform import wavedec, wavedec_nd
+
+FILTERS = ["haar", "db2", "db3"]
+
+
+def dense_1d(n: int, lo: int, hi: int, degree: int) -> np.ndarray:
+    out = np.zeros(n)
+    xs = np.arange(lo, hi + 1, dtype=np.float64)
+    out[lo : hi + 1] = xs**degree
+    return out
+
+
+class TestVectorCoefficients1d:
+    @pytest.mark.parametrize("filt", FILTERS)
+    @pytest.mark.parametrize("lo,hi", [(0, 15), (3, 9), (7, 7), (0, 0), (15, 15)])
+    def test_matches_dense_transform(self, filt, lo, hi):
+        sv = vector_coefficients_1d(filt, 16, lo, hi)
+        np.testing.assert_allclose(
+            sv.to_dense(), wavedec(dense_1d(16, lo, hi, 0), filt), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("degree", [0, 1, 2, 3])
+    def test_degrees_match_dense(self, degree):
+        sv = vector_coefficients_1d("db4", 32, 5, 21, degree=degree)
+        np.testing.assert_allclose(
+            sv.to_dense(), wavedec(dense_1d(32, 5, 21, degree), "db4"),
+            atol=1e-8 * 32.0**degree,
+        )
+
+    def test_full_range_indicator_is_one_coefficient(self):
+        """The ones vector transforms to the single scaling coefficient."""
+        for filt in FILTERS:
+            sv = vector_coefficients_1d(filt, 64, 0, 63)
+            assert sv.nnz == 1
+            assert sv.indices[0] == 0
+            assert sv.values[0] == pytest.approx(np.sqrt(64.0) * 1.0)
+
+    def test_indicator_sparsity_logarithmic(self):
+        """Haar indicator nonzeros grow like O(log n), not O(n)."""
+        for n in (64, 256, 1024, 4096):
+            sv = vector_coefficients_1d("haar", n, n // 3, 2 * n // 3)
+            assert sv.nnz <= 2 * log2_int(n) + 1
+
+    def test_db2_indicator_sparsity(self):
+        for n in (256, 1024):
+            sv = vector_coefficients_1d("db2", n, n // 5, 3 * n // 5)
+            # At most ~2*(L-1) boundary wavelets per level plus the approx.
+            assert sv.nnz <= 6 * log2_int(n) + 1
+
+    def test_caching(self):
+        a = vector_coefficients_1d("db2", 16, 2, 9)
+        b = vector_coefficients_1d("db2", 16, 2, 9)
+        assert a is b
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            vector_coefficients_1d("haar", 16, 5, 3)
+        with pytest.raises(ValueError):
+            vector_coefficients_1d("haar", 16, 0, 16)
+        with pytest.raises(ValueError):
+            vector_coefficients_1d("haar", 16, -1, 3)
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ValueError):
+            vector_coefficients_1d("haar", 16, 0, 3, degree=-1)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            vector_coefficients_1d("haar", 12, 0, 3)
+
+
+class TestHaarClosedForm:
+    @pytest.mark.parametrize(
+        "n,lo,hi",
+        [
+            (16, 0, 15),
+            (16, 0, 0),
+            (16, 15, 15),
+            (16, 3, 11),
+            (64, 17, 40),
+            (128, 1, 126),
+            (8, 2, 5),
+        ],
+    )
+    def test_matches_dense(self, n, lo, hi):
+        closed = haar_indicator_coefficients(n, lo, hi)
+        dense = wavedec(dense_1d(n, lo, hi, 0), "haar")
+        np.testing.assert_allclose(closed.to_dense(), dense, atol=1e-10)
+
+    def test_support_is_boundary_only(self):
+        sv = haar_indicator_coefficients(1024, 100, 900)
+        assert sv.nnz <= 2 * 10 + 1
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            haar_indicator_coefficients(16, 8, 3)
+
+
+class TestQueryTensor:
+    @pytest.mark.parametrize("filt", FILTERS)
+    def test_monomial_matches_nd_transform(self, filt):
+        shape = (16, 8)
+        bounds = [(3, 12), (2, 5)]
+        exps = (1, 0)
+        tensor = monomial_tensor(filt, shape, bounds, exps, coefficient=2.5)
+        dense = np.zeros(shape)
+        for x0 in range(bounds[0][0], bounds[0][1] + 1):
+            for x1 in range(bounds[1][0], bounds[1][1] + 1):
+                dense[x0, x1] = 2.5 * x0
+        np.testing.assert_allclose(
+            tensor.to_dense(), wavedec_nd(dense, filt), atol=1e-9
+        )
+
+    def test_polynomial_sum_matches(self):
+        shape = (8, 8)
+        bounds = [(1, 6), (0, 7)]
+        monomials = [((0, 0), 1.0), ((1, 1), -0.5), ((2, 0), 0.25)]
+        tensor = query_tensor("db3", shape, bounds, monomials)
+        dense = np.zeros(shape)
+        for x0 in range(1, 7):
+            for x1 in range(8):
+                dense[x0, x1] = 1.0 - 0.5 * x0 * x1 + 0.25 * x0 * x0
+        np.testing.assert_allclose(tensor.to_dense(), wavedec_nd(dense, "db3"), atol=1e-9)
+
+    def test_inner_product_identity(self, rng):
+        """Equation 2: <q, Delta> == <q_hat, Delta_hat>."""
+        shape = (16, 16)
+        data = rng.random(shape)
+        data_hat = wavedec_nd(data, "db2")
+        bounds = [(2, 13), (5, 10)]
+        dense_q = np.zeros(shape)
+        dense_q[2:14, 5:11] = np.arange(2, 14, dtype=float)[:, None]
+        tensor = query_tensor("db2", shape, bounds, [((1, 0), 1.0)])
+        direct = float(np.sum(dense_q * data))
+        via_wavelets = tensor.dot_dense(data_hat)
+        assert via_wavelets == pytest.approx(direct, rel=1e-10)
+
+    def test_rejects_empty_polynomial(self):
+        with pytest.raises(ValueError):
+            query_tensor("haar", (8,), [(0, 3)], [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            monomial_tensor("haar", (8, 8), [(0, 3)], (0, 0))
+
+    def test_count_query_sparsity_bound(self):
+        """O(2^d log^d N): indicator tensors stay tiny vs the domain."""
+        shape = (64, 64)
+        tensor = query_tensor("haar", shape, [(10, 50), (3, 60)], [((0, 0), 1.0)])
+        assert tensor.nnz <= (2 * 6 + 1) ** 2
+        assert tensor.nnz < 64 * 64 / 10

@@ -1,0 +1,130 @@
+"""Unit tests for hyper-rectangular ranges."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries.range import HyperRect, is_partition
+
+
+class TestConstruction:
+    def test_from_bounds(self):
+        r = HyperRect.from_bounds([(0, 3), (2, 2)])
+        assert r.bounds == ((0, 3), (2, 2))
+        assert r.ndim == 2
+
+    def test_full_domain(self):
+        r = HyperRect.full_domain((4, 8))
+        assert r.bounds == ((0, 3), (0, 7))
+
+    def test_volume(self):
+        assert HyperRect.from_bounds([(0, 3), (2, 2), (1, 5)]).volume == 4 * 1 * 5
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            HyperRect.from_bounds([(3, 1)])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HyperRect.from_bounds([(-1, 3)])
+
+    def test_rejects_no_dims(self):
+        with pytest.raises(ValueError):
+            HyperRect(())
+
+
+class TestGeometry:
+    def test_contains(self):
+        r = HyperRect.from_bounds([(1, 3), (0, 2)])
+        assert r.contains((1, 0))
+        assert r.contains((3, 2))
+        assert not r.contains((0, 0))
+        assert not r.contains((1, 3))
+
+    def test_contains_many(self):
+        r = HyperRect.from_bounds([(1, 3), (0, 2)])
+        pts = np.array([[1, 0], [4, 0], [2, 2], [2, 3]])
+        np.testing.assert_array_equal(
+            r.contains_many(pts), [True, False, True, False]
+        )
+
+    def test_indicator(self):
+        r = HyperRect.from_bounds([(1, 2), (0, 1)])
+        ind = r.indicator((4, 4))
+        assert ind.sum() == 4
+        assert ind[1, 0] == 1.0 and ind[0, 0] == 0.0
+
+    def test_validate_for(self):
+        r = HyperRect.from_bounds([(0, 3)])
+        r.validate_for((4,))
+        with pytest.raises(ValueError):
+            r.validate_for((2,))
+        with pytest.raises(ValueError):
+            r.validate_for((4, 4))
+
+    def test_intersect(self):
+        a = HyperRect.from_bounds([(0, 5), (0, 5)])
+        b = HyperRect.from_bounds([(3, 8), (2, 4)])
+        assert a.intersect(b).bounds == ((3, 5), (2, 4))
+
+    def test_intersect_empty(self):
+        a = HyperRect.from_bounds([(0, 2)])
+        b = HyperRect.from_bounds([(5, 8)])
+        assert a.intersect(b) is None
+
+    def test_split(self):
+        left, right = HyperRect.from_bounds([(0, 7)]).split(0, 3)
+        assert left.bounds == ((0, 3),)
+        assert right.bounds == ((4, 7),)
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            HyperRect.from_bounds([(0, 7)]).split(0, 7)
+
+
+class TestCornerPoints:
+    def test_inclusion_exclusion_matches_direct_sum(self, rng):
+        data = rng.random((8, 8))
+        prefix = np.cumsum(np.cumsum(data, axis=0), axis=1)
+        r = HyperRect.from_bounds([(2, 5), (1, 6)])
+        total = sum(sign * prefix[corner] for corner, sign in r.corner_points())
+        assert total == pytest.approx(float(data[2:6, 1:7].sum()))
+
+    def test_corner_count_at_origin(self):
+        """Ranges anchored at zero drop the zero-valued corners."""
+        r = HyperRect.from_bounds([(0, 3), (0, 3)])
+        assert len(list(r.corner_points())) == 1
+        r = HyperRect.from_bounds([(1, 3), (0, 3)])
+        assert len(list(r.corner_points())) == 2
+        r = HyperRect.from_bounds([(1, 3), (1, 3)])
+        assert len(list(r.corner_points())) == 4
+
+    def test_corner_signs_sum(self):
+        """Signs alternate with the number of lowered coordinates."""
+        r = HyperRect.from_bounds([(2, 4), (3, 5), (1, 2)])
+        corners = dict(r.corner_points())
+        assert corners[(4, 5, 2)] == 1
+        assert corners[(1, 5, 2)] == -1
+        assert corners[(1, 2, 2)] == 1
+        assert corners[(1, 2, 0)] == -1
+
+
+class TestIsPartition:
+    def test_accepts_grid(self):
+        rects = [
+            HyperRect.from_bounds([(0, 1), (0, 3)]),
+            HyperRect.from_bounds([(2, 3), (0, 3)]),
+        ]
+        assert is_partition(rects, (4, 4))
+
+    def test_rejects_overlap(self):
+        rects = [
+            HyperRect.from_bounds([(0, 2), (0, 3)]),
+            HyperRect.from_bounds([(2, 3), (0, 3)]),
+        ]
+        assert not is_partition(rects, (4, 4))
+
+    def test_rejects_gap(self):
+        rects = [HyperRect.from_bounds([(0, 1), (0, 3)])]
+        assert not is_partition(rects, (4, 4))

@@ -1,0 +1,88 @@
+"""Unit tests for relations and schemas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation, Schema
+
+
+class TestSchema:
+    def test_anonymous(self):
+        s = Schema.anonymous((4, 8))
+        assert s.names == ("attr0", "attr1")
+        assert s.ndim == 2
+
+    def test_attribute_index(self):
+        s = Schema(names=("age", "salary"), shape=(8, 8))
+        assert s.attribute_index("salary") == 1
+        with pytest.raises(KeyError):
+            s.attribute_index("height")
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            Schema(names=("a", "a"), shape=(4, 4))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Schema(names=("a",), shape=(3,))
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Schema(names=("a",), shape=(4, 4))
+
+
+class TestRelation:
+    def test_from_tuples(self):
+        rel = Relation.from_tuples([(0, 1), (3, 3), (0, 1)], shape=(4, 4))
+        assert rel.num_records == 3
+        assert rel.ndim == 2
+
+    def test_frequency_distribution_counts_multiplicity(self):
+        rel = Relation.from_tuples([(0, 1), (3, 3), (0, 1)], shape=(4, 4))
+        delta = rel.frequency_distribution()
+        assert delta[0, 1] == 2.0
+        assert delta[3, 3] == 1.0
+        assert delta.sum() == 3.0
+
+    def test_empty_relation(self):
+        rel = Relation.from_tuples([], shape=(4, 4))
+        assert rel.num_records == 0
+        np.testing.assert_allclose(rel.frequency_distribution(), 0.0)
+
+    def test_sparse_counts(self):
+        rel = Relation.from_tuples([(1, 1), (1, 1), (2, 0)], shape=(4, 4))
+        assert rel.sparse_counts() == {(1, 1): 2, (2, 0): 1}
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            Relation.from_tuples([(4, 0)], shape=(4, 4))
+        with pytest.raises(ValueError):
+            Relation.from_tuples([(-1, 0)], shape=(4, 4))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Relation.from_tuples([(1, 2, 3)], shape=(4, 4))
+
+    def test_named_schema(self):
+        rel = Relation.from_tuples([(0, 0)], shape=(4, 4), names=("x", "y"))
+        assert rel.schema.names == ("x", "y")
+
+    def test_concat(self):
+        a = Relation.from_tuples([(0, 0)], shape=(4, 4))
+        b = Relation.from_tuples([(1, 1), (2, 2)], shape=(4, 4))
+        assert a.concat(b).num_records == 3
+
+    def test_concat_schema_mismatch(self):
+        a = Relation.from_tuples([(0, 0)], shape=(4, 4))
+        b = Relation.from_tuples([(0, 0)], shape=(4, 4), names=("x", "y"))
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_sample(self):
+        rel = Relation.from_tuples([(i % 4, i % 4) for i in range(20)], shape=(4, 4))
+        sampled = rel.sample(5, rng=np.random.default_rng(0))
+        assert sampled.num_records == 5
+        with pytest.raises(ValueError):
+            rel.sample(100)

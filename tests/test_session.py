@@ -1,0 +1,165 @@
+"""Unit tests for the interactive progressive session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBiggestB
+from repro.core.penalties import CursoredSsePenalty, LpPenalty, SsePenalty
+from repro.core.session import ProgressiveSession
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.queries.workload import partition_count_batch, random_rectangles
+from repro.storage.wavelet_store import WaveletStorage
+
+
+@pytest.fixture
+def setup(rng, data_2d):
+    batch = partition_count_batch((16, 16), (4, 2), rng=rng)
+    storage = WaveletStorage.build(data_2d, wavelet="db2")
+    return storage, batch, batch.exact_dense(data_2d)
+
+
+class TestAdvance:
+    def test_advance_matches_batch_biggest_b(self, setup):
+        storage, batch, exact = setup
+        session = ProgressiveSession(storage, batch)
+        reference = BatchBiggestB(storage, batch)
+        steps = list(reference.steps())
+        for b in (1, 3, 10):
+            session_fresh = ProgressiveSession(storage, batch)
+            session_fresh.advance(b)
+            np.testing.assert_allclose(
+                session_fresh.estimates, steps[b - 1].estimates, atol=1e-9
+            )
+
+    def test_run_to_completion_is_exact(self, setup):
+        storage, batch, exact = setup
+        session = ProgressiveSession(storage, batch)
+        answers = session.run_to_completion()
+        np.testing.assert_allclose(answers, exact, atol=1e-9)
+        assert session.is_exact
+        assert session.remaining == 0
+
+    def test_advance_beyond_master_list(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        total = session.plan.num_keys
+        assert session.advance(total + 100) == total
+
+    def test_advance_zero(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        assert session.advance(0) == 0
+        assert session.steps_taken == 0
+
+    def test_advance_rejects_negative(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        with pytest.raises(ValueError):
+            session.advance(-1)
+
+    def test_never_retrieves_twice(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        storage.reset_stats()
+        session.advance(5)
+        session.set_penalty(CursoredSsePenalty(batch.size, high_priority=[0]))
+        session.run_to_completion()
+        assert storage.stats.retrievals == session.plan.num_keys
+
+
+class TestPenaltySwitch:
+    def test_switch_keeps_progress_and_stays_exact(self, setup):
+        storage, batch, exact = setup
+        session = ProgressiveSession(storage, batch)
+        session.advance(7)
+        before = session.estimates.copy()
+        session.set_penalty(CursoredSsePenalty(batch.size, high_priority=[1, 2]))
+        np.testing.assert_allclose(session.estimates, before)
+        answers = session.run_to_completion()
+        np.testing.assert_allclose(answers, exact, atol=1e-9)
+
+    def test_switch_changes_future_order(self, setup):
+        storage, batch, _ = setup
+        boost = CursoredSsePenalty(batch.size, high_priority=[3], high_weight=1e6)
+        a = ProgressiveSession(storage, batch)
+        a.advance(2)
+        a.set_penalty(boost)
+        b = ProgressiveSession(storage, batch)
+        b.advance(2)
+        # After boosting query 3 hugely, the very next retrievals differ
+        # from the plain-SSE continuation (unless q3 already dominated).
+        a.advance(3)
+        b.advance(3)
+        assert not np.allclose(a.estimates, b.estimates)
+
+
+class TestBoundsAndStopping:
+    def test_worst_case_bound_decreases_to_zero(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        bounds = [session.worst_case_bound()]
+        while not session.is_exact:
+            session.advance(10)
+            bounds.append(session.worst_case_bound())
+        assert bounds[-1] == 0.0
+        assert all(x >= y - 1e-9 for x, y in zip(bounds, bounds[1:]))
+
+    def test_run_until_bound(self, setup):
+        storage, batch, exact = setup
+        session = ProgressiveSession(storage, batch)
+        target = session.worst_case_bound() / 1e6
+        session.run_until(bound=target)
+        assert session.worst_case_bound() <= target
+        penalty = SsePenalty()
+        assert penalty(session.estimates - exact) <= target * (1 + 1e-9)
+
+    def test_run_until_predicate(self, setup):
+        storage, batch, exact = setup
+        session = ProgressiveSession(storage, batch)
+        session.run_until(predicate=lambda est: est.sum() > 0.5 * exact.sum())
+        assert session.estimates.sum() > 0.5 * exact.sum()
+
+    def test_run_until_max_steps(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        done = session.run_until(max_steps=4)
+        assert done == 4
+        assert session.steps_taken == 4
+
+    def test_run_until_needs_a_condition(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        with pytest.raises(ValueError):
+            session.run_until()
+
+    def test_expected_penalty_decreases(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        before = session.expected_penalty()
+        session.advance(20)
+        assert session.expected_penalty() <= before
+
+    def test_expected_penalty_rejects_non_quadratic(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch, penalty=LpPenalty(1.0))
+        with pytest.raises(ValueError):
+            session.expected_penalty()
+
+
+class TestCursorScenario:
+    def test_moving_cursor_session(self, rng, data_2d):
+        """Simulate scrolling: retarget the penalty as the cursor moves."""
+        rects = random_rectangles((16, 16), 12, rng=rng)
+        batch = QueryBatch([VectorQuery.count(r) for r in rects])
+        storage = WaveletStorage.build(data_2d, wavelet="haar")
+        exact = batch.exact_dense(data_2d)
+        session = ProgressiveSession(storage, batch)
+        for start in (0, 4, 8):
+            session.set_penalty(
+                CursoredSsePenalty(batch.size, high_priority=range(start, start + 4))
+            )
+            session.advance(session.plan.num_keys // 6)
+        answers = session.run_to_completion()
+        np.testing.assert_allclose(answers, exact, atol=1e-9)

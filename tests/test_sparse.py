@@ -1,0 +1,157 @@
+"""Unit tests for sparse vectors and tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.wavelets.sparse import SparseTensor, SparseVector
+
+
+class TestSparseVector:
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.normal(size=32)
+        dense[rng.random(32) < 0.5] = 0.0
+        sv = SparseVector.from_dense(dense)
+        np.testing.assert_allclose(sv.to_dense(), dense)
+
+    def test_from_dense_drops_tiny(self):
+        dense = np.array([1.0, 1e-15, 0.0, -2.0])
+        sv = SparseVector.from_dense(dense, rtol=1e-12)
+        assert sv.nnz == 2
+        assert set(sv.indices.tolist()) == {0, 3}
+
+    def test_from_dense_all_zero(self):
+        sv = SparseVector.from_dense(np.zeros(8))
+        assert sv.nnz == 0
+        np.testing.assert_allclose(sv.to_dense(), np.zeros(8))
+
+    def test_from_items_merges_duplicates(self):
+        sv = SparseVector.from_items(8, [(3, 1.0), (3, 2.0), (1, -1.0)])
+        assert sv.nnz == 2
+        np.testing.assert_allclose(sv.to_dense()[[1, 3]], [-1.0, 3.0])
+
+    def test_from_items_empty(self):
+        sv = SparseVector.from_items(4, [])
+        assert sv.nnz == 0
+
+    def test_dot_dense(self, rng):
+        dense = rng.normal(size=16)
+        other = rng.normal(size=16)
+        sv = SparseVector.from_dense(dense)
+        assert sv.dot_dense(other) == pytest.approx(float(dense @ other))
+
+    def test_dot_dense_shape_check(self):
+        sv = SparseVector.from_dense(np.ones(4))
+        with pytest.raises(ValueError):
+            sv.dot_dense(np.ones(8))
+
+    def test_scaled(self):
+        sv = SparseVector.from_dense(np.array([0.0, 2.0, 0.0, -1.0]))
+        np.testing.assert_allclose(sv.scaled(3.0).to_dense(), [0.0, 6.0, 0.0, -3.0])
+
+    def test_items_iteration(self):
+        sv = SparseVector.from_dense(np.array([0.0, 5.0, 0.0, 7.0]))
+        assert list(sv.items()) == [(1, 5.0), (3, 7.0)]
+
+    def test_norm2(self):
+        sv = SparseVector.from_dense(np.array([3.0, 0.0, 4.0]))
+        assert sv.norm2() == pytest.approx(5.0)
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(ValueError):
+            SparseVector(n=4, indices=np.array([5]), values=np.array([1.0]))
+
+    def test_rejects_unsorted_indices(self):
+        with pytest.raises(ValueError):
+            SparseVector(n=8, indices=np.array([3, 1]), values=np.array([1.0, 2.0]))
+
+
+class TestSparseTensor:
+    def test_outer_matches_dense(self, rng):
+        u = SparseVector.from_dense(rng.normal(size=8) * (rng.random(8) < 0.4))
+        v = SparseVector.from_dense(rng.normal(size=4) * (rng.random(4) < 0.6))
+        w = SparseVector.from_dense(rng.normal(size=8) * (rng.random(8) < 0.4))
+        tensor = SparseTensor.from_outer([u, v, w])
+        expected = np.einsum("i,j,k->ijk", u.to_dense(), v.to_dense(), w.to_dense())
+        np.testing.assert_allclose(tensor.to_dense(), expected, atol=1e-12)
+
+    def test_outer_with_empty_factor(self):
+        u = SparseVector.from_dense(np.ones(4))
+        empty = SparseVector.from_dense(np.zeros(4))
+        tensor = SparseTensor.from_outer([u, empty])
+        assert tensor.nnz == 0
+        assert tensor.shape == (4, 4)
+
+    def test_outer_needs_factors(self):
+        with pytest.raises(ValueError):
+            SparseTensor.from_outer([])
+
+    def test_sum_of_merges(self, rng):
+        dense_a = rng.normal(size=(4, 4)) * (rng.random((4, 4)) < 0.5)
+        dense_b = rng.normal(size=(4, 4)) * (rng.random((4, 4)) < 0.5)
+        ta = _tensor_from_dense(dense_a)
+        tb = _tensor_from_dense(dense_b)
+        total = SparseTensor.sum_of([ta, tb], rtol=0.0)
+        np.testing.assert_allclose(total.to_dense(), dense_a + dense_b, atol=1e-12)
+
+    def test_sum_of_cancellation(self):
+        dense = np.zeros((2, 2))
+        dense[0, 1] = 1.0
+        t = _tensor_from_dense(dense)
+        neg = t.scaled(-1.0)
+        total = SparseTensor.sum_of([t, neg])
+        np.testing.assert_allclose(total.to_dense(), 0.0, atol=1e-15)
+
+    def test_sum_of_shape_mismatch(self):
+        a = _tensor_from_dense(np.ones((2, 2)))
+        b = _tensor_from_dense(np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            SparseTensor.sum_of([a, b])
+
+    def test_sum_of_single(self):
+        a = _tensor_from_dense(np.ones((2, 2)))
+        assert SparseTensor.sum_of([a]) is a
+
+    def test_dot_dense(self, rng):
+        dense = rng.normal(size=(4, 8))
+        other = rng.normal(size=(4, 8))
+        t = _tensor_from_dense(dense)
+        assert t.dot_dense(other) == pytest.approx(float(np.sum(dense * other)))
+
+    def test_dot_dense_shape_check(self):
+        t = _tensor_from_dense(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            t.dot_dense(np.ones((4, 4)))
+
+    def test_multi_indices(self):
+        dense = np.zeros((2, 3, 4))
+        dense[1, 2, 3] = 5.0
+        dense[0, 0, 1] = 2.0
+        t = SparseTensor(
+            shape=(2, 3, 4),
+            indices=np.array([np.ravel_multi_index((0, 0, 1), (2, 3, 4)),
+                              np.ravel_multi_index((1, 2, 3), (2, 3, 4))]),
+            values=np.array([2.0, 5.0]),
+        )
+        np.testing.assert_array_equal(t.multi_indices(), [[0, 0, 1], [1, 2, 3]])
+
+    def test_norm2(self):
+        t = _tensor_from_dense(np.array([[3.0, 0.0], [0.0, 4.0]]))
+        assert t.norm2() == pytest.approx(5.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SparseTensor(shape=(2, 2), indices=np.array([4]), values=np.array([1.0]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SparseTensor(
+                shape=(2, 2), indices=np.array([1, 1]), values=np.array([1.0, 2.0])
+            )
+
+
+def _tensor_from_dense(dense: np.ndarray) -> SparseTensor:
+    flat = dense.ravel()
+    idx = np.nonzero(flat)[0].astype(np.int64)
+    return SparseTensor(shape=dense.shape, indices=idx, values=flat[idx])

@@ -1,0 +1,132 @@
+"""Unit tests for derived range-level statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import employee_dataset, uniform_dataset
+from repro.queries.range import HyperRect
+from repro.queries.workload import random_partition
+from repro.stats.derived import RangeStatistics
+from repro.storage.wavelet_store import WaveletStorage
+
+
+@pytest.fixture(scope="module")
+def employee_setup():
+    rel = employee_dataset(shape=(64, 64), n_records=20_000, seed=5)
+    store = WaveletStorage.build(rel.frequency_distribution(), wavelet="db3")
+    return rel, store
+
+
+def records_in(rel, rect):
+    mask = rect.contains_many(rel.records)
+    return rel.records[mask].astype(float)
+
+
+class TestMoments:
+    def test_count(self, employee_setup):
+        rel, store = employee_setup
+        rect = HyperRect.from_bounds([(25, 40), (0, 63)])
+        stats = RangeStatistics(store)
+        assert stats.count(rect) == pytest.approx(len(records_in(rel, rect)), abs=1e-6)
+
+    def test_average(self, employee_setup):
+        rel, store = employee_setup
+        rect = HyperRect.from_bounds([(25, 40), (10, 63)])
+        inside = records_in(rel, rect)
+        stats = RangeStatistics(store)
+        assert stats.average(rect, 1) == pytest.approx(inside[:, 1].mean(), rel=1e-9)
+
+    def test_variance(self, employee_setup):
+        rel, store = employee_setup
+        rect = HyperRect.from_bounds([(30, 55), (0, 63)])
+        inside = records_in(rel, rect)
+        stats = RangeStatistics(store)
+        assert stats.variance(rect, 1) == pytest.approx(
+            float(np.var(inside[:, 1])), rel=1e-8
+        )
+
+    def test_covariance(self, employee_setup):
+        rel, store = employee_setup
+        rect = HyperRect.from_bounds([(18, 60), (0, 63)])
+        inside = records_in(rel, rect)
+        stats = RangeStatistics(store)
+        expected = float(np.cov(inside[:, 0], inside[:, 1], bias=True)[0, 1])
+        assert stats.covariance(rect, 0, 1) == pytest.approx(expected, rel=1e-7)
+
+    def test_correlation(self, employee_setup):
+        rel, store = employee_setup
+        rect = HyperRect.from_bounds([(18, 60), (0, 63)])
+        inside = records_in(rel, rect)
+        stats = RangeStatistics(store)
+        expected = float(np.corrcoef(inside[:, 0], inside[:, 1])[0, 1])
+        assert stats.correlation(rect, 0, 1) == pytest.approx(expected, rel=1e-6)
+        assert stats.correlation(rect, 0, 1) > 0.1  # salary grows with age
+
+    def test_empty_range_is_nan(self):
+        rel = uniform_dataset((8, 8), 10, seed=0)
+        delta = rel.frequency_distribution()
+        delta[0, 0] = 0.0  # make sure (0,0) is empty
+        store = WaveletStorage.build(delta, wavelet="haar")
+        stats = RangeStatistics(store)
+        assert np.isnan(stats.average(HyperRect.from_bounds([(0, 0), (0, 0)]), 0))
+
+
+class TestRegression:
+    def test_matches_numpy_polyfit(self, employee_setup):
+        rel, store = employee_setup
+        rect = HyperRect.from_bounds([(18, 63), (0, 63)])
+        inside = records_in(rel, rect)
+        stats = RangeStatistics(store)
+        fit = stats.regression(rect, 0, 1)
+        slope, intercept = np.polyfit(inside[:, 0], inside[:, 1], 1)
+        assert fit.slope == pytest.approx(float(slope), rel=1e-6)
+        assert fit.intercept == pytest.approx(float(intercept), rel=1e-5)
+        assert fit.count == pytest.approx(len(inside))
+
+    def test_degenerate_x_returns_nan(self, employee_setup):
+        _, store = employee_setup
+        rect = HyperRect.from_bounds([(30, 30), (0, 63)])  # single age value
+        fit = RangeStatistics(store).regression(rect, 0, 1)
+        assert np.isnan(fit.slope)
+
+
+class TestAnova:
+    def test_matches_scipy(self, employee_setup):
+        from scipy import stats as sps
+
+        rel, store = employee_setup
+        groups = [
+            HyperRect.from_bounds([(18, 30), (0, 63)]),
+            HyperRect.from_bounds([(31, 45), (0, 63)]),
+            HyperRect.from_bounds([(46, 63), (0, 63)]),
+        ]
+        samples = [records_in(rel, g)[:, 1] for g in groups]
+        expected_f = sps.f_oneway(*samples).statistic
+        result = RangeStatistics(store).anova(groups, attribute=1)
+        assert result.f_statistic == pytest.approx(float(expected_f), rel=1e-6)
+        assert result.df_between == 2
+
+    def test_shares_io_across_groups(self, employee_setup):
+        rel, store = employee_setup
+        groups = random_partition((64, 64), (4, 1), rng=np.random.default_rng(0))
+        store.reset_stats()
+        RangeStatistics(store).anova(groups, attribute=1)
+        shared = store.stats.retrievals
+        # Re-run the 12 queries one by one (3 per group, no sharing).
+        store.reset_stats()
+        stats = RangeStatistics(store)
+        for g in groups:
+            stats.count(g)
+            stats.average(g, 1)
+            stats.variance(g, 1)
+        unshared = store.stats.retrievals
+        assert shared < unshared
+
+    def test_rejects_single_group(self, employee_setup):
+        _, store = employee_setup
+        with pytest.raises(ValueError):
+            RangeStatistics(store).anova(
+                [HyperRect.from_bounds([(0, 63), (0, 63)])], attribute=1
+            )

@@ -1,0 +1,152 @@
+"""Unit tests for the three linear storage strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import uniform_dataset
+from repro.queries.polynomial import Polynomial
+from repro.queries.range import HyperRect
+from repro.queries.vector_query import VectorQuery
+from repro.storage.base import KeyedVector
+from repro.storage.identity import IdentityStorage
+from repro.storage.prefix_sum import PrefixSumStorage
+from repro.storage.wavelet_store import WaveletStorage
+
+
+class TestKeyedVector:
+    def test_sorts_and_merges(self):
+        kv = KeyedVector(indices=np.array([3, 1, 3]), values=np.array([1.0, 2.0, 4.0]))
+        np.testing.assert_array_equal(kv.indices, [1, 3])
+        np.testing.assert_allclose(kv.values, [2.0, 5.0])
+        assert kv.nnz == 2
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            KeyedVector(indices=np.array([1, 2]), values=np.array([1.0]))
+
+
+class TestWaveletStorage:
+    @pytest.mark.parametrize("wavelet", ["haar", "db2", "db3"])
+    @pytest.mark.parametrize("backend", ["dense", "hash"])
+    def test_answer_matches_dense(self, wavelet, backend, data_2d):
+        store = WaveletStorage.build(data_2d, wavelet=wavelet, backend=backend)
+        q = VectorQuery.sum(HyperRect.from_bounds([(2, 13), (4, 9)]), 0)
+        assert store.answer(q) == pytest.approx(q.evaluate_dense(data_2d), rel=1e-9)
+
+    def test_answer_counts_retrievals(self, data_2d):
+        store = WaveletStorage.build(data_2d, wavelet="haar")
+        q = VectorQuery.count(HyperRect.from_bounds([(0, 7), (0, 7)]))
+        store.answer(q)
+        assert store.stats.retrievals == store.rewrite(q).nnz
+        assert store.stats.retrievals < data_2d.size
+
+    def test_reconstruct_data(self, data_2d):
+        store = WaveletStorage.build(data_2d, wavelet="db2")
+        np.testing.assert_allclose(store.reconstruct_data(), data_2d, atol=1e-9)
+
+    def test_from_relation(self):
+        rel = uniform_dataset((8, 8), 100, seed=1)
+        store = WaveletStorage.build(rel.frequency_distribution(), wavelet="haar")
+        q = VectorQuery.count(HyperRect.full_domain((8, 8)))
+        assert store.answer(q) == pytest.approx(100.0)
+
+    def test_streaming_insert_equals_bulk_build(self):
+        rel = uniform_dataset((8, 8), 50, seed=2)
+        bulk = WaveletStorage.build(rel.frequency_distribution(), wavelet="db2")
+        streaming = WaveletStorage.empty((8, 8), wavelet="db2")
+        touched = streaming.insert_many(rel.records)
+        assert touched > 0
+        np.testing.assert_allclose(
+            streaming.store.as_dense(), bulk.store.as_dense(), atol=1e-9
+        )
+
+    def test_insert_weight(self):
+        store = WaveletStorage.empty((4, 4), wavelet="haar")
+        store.insert((1, 2), weight=3.0)
+        q = VectorQuery.count(HyperRect.full_domain((4, 4)))
+        assert store.answer(q) == pytest.approx(3.0)
+
+    def test_insert_touches_few_coefficients(self):
+        store = WaveletStorage.empty((64, 64), wavelet="haar")
+        touched = store.insert((13, 50))
+        assert touched == 7 * 7  # (log2(64)+1)^2 for Haar
+
+    def test_rejects_bad_records(self):
+        store = WaveletStorage.empty((4, 4))
+        with pytest.raises(ValueError):
+            store.insert_many(np.zeros((3, 3), dtype=np.int64))
+
+
+class TestPrefixSumStorage:
+    def test_count_matches_dense(self, data_2d):
+        store = PrefixSumStorage.build(data_2d)
+        q = VectorQuery.count(HyperRect.from_bounds([(3, 12), (0, 9)]))
+        assert store.answer(q) == pytest.approx(q.evaluate_dense(data_2d))
+
+    def test_count_costs_at_most_2d_corners(self, data_2d):
+        store = PrefixSumStorage.build(data_2d)
+        q = VectorQuery.count(HyperRect.from_bounds([(3, 12), (2, 9)]))
+        store.answer(q)
+        assert store.stats.retrievals == 4
+
+    def test_anchored_range_costs_one(self, data_2d):
+        store = PrefixSumStorage.build(data_2d)
+        q = VectorQuery.count(HyperRect.from_bounds([(0, 12), (0, 9)]))
+        store.answer(q)
+        assert store.stats.retrievals == 1
+
+    def test_degree_one_moments(self, data_2d):
+        store = PrefixSumStorage.build(data_2d, max_degree=1)
+        q = VectorQuery.sum(HyperRect.from_bounds([(1, 14), (3, 8)]), 1)
+        assert store.answer(q) == pytest.approx(q.evaluate_dense(data_2d), rel=1e-9)
+
+    def test_explicit_moments(self, data_2d):
+        store = PrefixSumStorage.build(data_2d, moments=[(0, 0), (1, 1)])
+        q = VectorQuery.sum_product(HyperRect.from_bounds([(2, 9), (2, 9)]), 0, 1)
+        assert store.answer(q) == pytest.approx(q.evaluate_dense(data_2d), rel=1e-9)
+
+    def test_missing_moment_raises(self, data_2d):
+        store = PrefixSumStorage.build(data_2d)
+        q = VectorQuery.sum(HyperRect.full_domain((16, 16)), 0)
+        with pytest.raises(KeyError):
+            store.rewrite(q)
+
+    def test_polynomial_query_mixes_moments(self, data_2d):
+        store = PrefixSumStorage.build(data_2d, max_degree=1)
+        poly = Polynomial.from_dict(2, {(0, 0): 2.0, (1, 0): -1.0})
+        q = VectorQuery.polynomial_range_sum(
+            HyperRect.from_bounds([(4, 11), (4, 11)]), poly
+        )
+        assert store.answer(q) == pytest.approx(q.evaluate_dense(data_2d), rel=1e-9)
+
+    def test_rejects_moments_and_degree(self, data_2d):
+        with pytest.raises(ValueError):
+            PrefixSumStorage.build(data_2d, moments=[(0, 0)], max_degree=1)
+
+
+class TestIdentityStorage:
+    def test_answer_matches_dense(self, data_2d):
+        store = IdentityStorage.build(data_2d)
+        q = VectorQuery.sum(HyperRect.from_bounds([(0, 7), (3, 12)]), 1)
+        assert store.answer(q) == pytest.approx(q.evaluate_dense(data_2d), rel=1e-9)
+
+    def test_cost_equals_range_volume_for_count(self, data_2d):
+        store = IdentityStorage.build(data_2d)
+        rect = HyperRect.from_bounds([(2, 5), (1, 6)])
+        store.answer(VectorQuery.count(rect))
+        assert store.stats.retrievals == rect.volume
+
+    def test_zero_polynomial_cells_skipped(self, data_2d):
+        """Cells where p(x) == 0 contribute nothing and are not fetched."""
+        store = IdentityStorage.build(data_2d)
+        q = VectorQuery.sum(HyperRect.from_bounds([(0, 3), (0, 3)]), 0)
+        store.answer(q)
+        assert store.stats.retrievals == 12  # x0 == 0 row drops out
+
+    def test_max_cells_guard(self, data_2d):
+        store = IdentityStorage.build(data_2d, max_cells=10)
+        q = VectorQuery.count(HyperRect.full_domain((16, 16)))
+        with pytest.raises(ValueError):
+            store.rewrite(q)

@@ -1,0 +1,87 @@
+"""Unit tests for the data-approximation synopsis comparator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBiggestB
+from repro.core.synopsis import DataSynopsis
+from repro.queries.workload import partition_count_batch
+from repro.storage.wavelet_store import WaveletStorage
+
+
+@pytest.fixture
+def setup(rng, data_2d):
+    storage = WaveletStorage.build(data_2d, wavelet="haar")
+    batch = partition_count_batch((16, 16), (4, 4), rng=rng)
+    return data_2d, storage, batch
+
+
+class TestDataSynopsis:
+    def test_full_budget_is_exact(self, setup):
+        data, storage, batch = setup
+        synopsis = DataSynopsis(storage, budget=storage.store.key_space_size)
+        np.testing.assert_allclose(
+            synopsis.answer_batch(batch), batch.exact_dense(data), atol=1e-9
+        )
+        assert synopsis.energy_fraction == pytest.approx(1.0)
+
+    def test_zero_budget_gives_zero_answers(self, setup):
+        data, storage, batch = setup
+        synopsis = DataSynopsis(storage, budget=0)
+        np.testing.assert_allclose(synopsis.answer_batch(batch), 0.0)
+        assert synopsis.size == 0
+
+    def test_keeps_largest_coefficients(self, setup):
+        data, storage, batch = setup
+        synopsis = DataSynopsis(storage, budget=10)
+        values = storage.store.as_dense()
+        kept = np.sort(np.abs(values[synopsis.keys]))
+        dropped = np.delete(np.abs(values), synopsis.keys)
+        assert kept.min() >= dropped.max() - 1e-12
+
+    def test_energy_fraction_monotone_in_budget(self, setup):
+        data, storage, batch = setup
+        fracs = [
+            DataSynopsis(storage, budget=b).energy_fraction for b in (4, 16, 64, 256)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(fracs, fracs[1:]))
+
+    def test_error_decreases_with_budget(self, setup):
+        data, storage, batch = setup
+        exact = batch.exact_dense(data)
+        errors = []
+        for budget in (8, 64, 256):
+            approx = DataSynopsis(storage, budget=budget).answer_batch(batch)
+            errors.append(float(np.sum((approx - exact) ** 2)))
+        assert errors[0] >= errors[-1]
+
+    def test_rejects_negative_budget(self, setup):
+        _, storage, _ = setup
+        with pytest.raises(ValueError):
+            DataSynopsis(storage, budget=-1)
+
+    def test_describe(self, setup):
+        _, storage, _ = setup
+        text = DataSynopsis(storage, budget=16).describe()
+        assert "16 coefficients" in text
+
+
+class TestQueryVsDataApproximation:
+    def test_query_approximation_wins_on_rough_data(self, rng):
+        """The paper's §2.1 claim: on data without a good wavelet
+        approximation, spending B retrievals on the batch's biggest-B
+        coefficients beats answering from the B-term data synopsis."""
+        data = rng.random((32, 32))  # i.i.d. noise: flat spectrum
+        storage = WaveletStorage.build(data, wavelet="haar")
+        batch = partition_count_batch((32, 32), (4, 4), rng=rng)
+        exact = batch.exact_dense(data)
+        evaluator = BatchBiggestB(storage, batch)
+        budget = evaluator.master_list_size // 4
+        _, snaps = evaluator.run_progressive([budget])
+        progressive_sse = float(np.sum((snaps[0] - exact) ** 2))
+        synopsis_sse = float(
+            np.sum((DataSynopsis(storage, budget).answer_batch(batch) - exact) ** 2)
+        )
+        assert progressive_sse < synopsis_sse

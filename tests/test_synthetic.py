@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    employee_dataset,
+    gaussian_mixture_dataset,
+    temperature_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+
+
+class TestTemperature:
+    def test_shape_and_schema(self):
+        rel = temperature_dataset(n_records=5_000, seed=1)
+        assert rel.schema.names == (
+            "latitude", "longitude", "altitude", "time", "temperature",
+        )
+        assert rel.num_records == 5_000
+        assert rel.shape == (16, 32, 8, 16, 32)
+
+    def test_reproducible(self):
+        a = temperature_dataset(n_records=1_000, seed=7)
+        b = temperature_dataset(n_records=1_000, seed=7)
+        np.testing.assert_array_equal(a.records, b.records)
+
+    def test_physical_structure_lat_gradient(self):
+        """Mid latitudes are warmer than extreme latitudes on average."""
+        rel = temperature_dataset(n_records=50_000, seed=0)
+        lat = rel.records[:, 0]
+        temp = rel.records[:, 4]
+        equator = temp[(lat >= 7) & (lat <= 8)]
+        poles = temp[(lat <= 1) | (lat >= 14)]
+        assert equator.mean() > poles.mean() + 1.0
+
+    def test_altitude_lapse(self):
+        """Higher altitude bins are colder on average."""
+        rel = temperature_dataset(n_records=50_000, seed=0)
+        alt = rel.records[:, 2]
+        temp = rel.records[:, 4]
+        low = temp[alt == 0].mean()
+        high = temp[alt >= 5].mean()
+        assert low > high
+
+    def test_custom_shape(self):
+        rel = temperature_dataset(shape=(8, 8, 4, 8, 16), n_records=2_000, seed=0)
+        assert rel.shape == (8, 8, 4, 8, 16)
+
+    def test_rejects_wrong_dimensionality(self):
+        with pytest.raises(ValueError):
+            temperature_dataset(shape=(8, 8), n_records=10)
+
+
+class TestEmployee:
+    def test_shape(self):
+        rel = employee_dataset(n_records=3_000, seed=0)
+        assert rel.schema.names == ("age", "salary")
+        assert rel.shape == (128, 128)
+
+    def test_salary_grows_with_age(self):
+        rel = employee_dataset(n_records=30_000, seed=0)
+        age = rel.records[:, 0]
+        salary = rel.records[:, 1]
+        young = salary[age < 30].mean()
+        old = salary[age > 50].mean()
+        assert old > young
+
+    def test_rejects_wrong_dimensionality(self):
+        with pytest.raises(ValueError):
+            employee_dataset(shape=(8, 8, 8), n_records=10)
+
+
+class TestGenericGenerators:
+    def test_uniform_in_domain(self):
+        rel = uniform_dataset((8, 16), 1_000, seed=0)
+        assert rel.records[:, 0].max() < 8
+        assert rel.records[:, 1].max() < 16
+
+    def test_zipf_is_skewed(self):
+        rel = zipf_dataset((64,), 20_000, exponent=1.5, seed=0)
+        counts = np.bincount(rel.records[:, 0], minlength=64)
+        assert counts[0] > 10 * max(1, counts[32])
+
+    def test_zipf_rejects_small_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_dataset((8,), 10, exponent=1.0)
+
+    def test_gaussian_mixture_clusters(self):
+        rel = gaussian_mixture_dataset((64, 64), 10_000, n_clusters=2, seed=0)
+        delta = rel.frequency_distribution()
+        # Clustered data: the top 10% of cells hold most of the mass
+        # (a uniform distribution would give them ~10%).
+        flat = np.sort(delta.ravel())[::-1]
+        top = flat[: delta.size // 10].sum()
+        assert top > 0.6 * delta.sum()
+
+    def test_gaussian_mixture_rejects_no_clusters(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture_dataset((8, 8), 10, n_clusters=0)

@@ -1,0 +1,179 @@
+"""Unit tests for the dense periodized DWT engine."""
+
+from __future__ import annotations
+
+from math import sqrt
+
+import numpy as np
+import pytest
+
+from repro.wavelets.transform import (
+    approx_slice,
+    detail_slice,
+    dwt_level,
+    idwt_level,
+    wavedec,
+    wavedec_nd,
+    waverec,
+    waverec_nd,
+)
+
+FILTERS = ["haar", "db2", "db3", "db4"]
+
+
+class TestSingleLevel:
+    @pytest.mark.parametrize("filt", FILTERS)
+    def test_roundtrip(self, filt, rng):
+        x = rng.normal(size=32)
+        a, d = dwt_level(x, filt)
+        np.testing.assert_allclose(idwt_level(a, d, filt), x, atol=1e-10)
+
+    @pytest.mark.parametrize("filt", FILTERS)
+    def test_energy_preserved(self, filt, rng):
+        x = rng.normal(size=64)
+        a, d = dwt_level(x, filt)
+        assert np.sum(a**2) + np.sum(d**2) == pytest.approx(np.sum(x**2))
+
+    def test_haar_explicit(self):
+        x = np.array([1.0, 3.0, 2.0, 6.0])
+        a, d = dwt_level(x, "haar")
+        np.testing.assert_allclose(a, np.array([4.0, 8.0]) / sqrt(2.0))
+        np.testing.assert_allclose(d, np.array([-2.0, -4.0]) / sqrt(2.0))
+
+    def test_batched_leading_dims(self, rng):
+        x = rng.normal(size=(3, 5, 16))
+        a, d = dwt_level(x, "db2")
+        assert a.shape == (3, 5, 8) and d.shape == (3, 5, 8)
+        a0, d0 = dwt_level(x[1, 2], "db2")
+        np.testing.assert_allclose(a[1, 2], a0)
+        np.testing.assert_allclose(d[1, 2], d0)
+
+    def test_rejects_length_one(self):
+        with pytest.raises(ValueError):
+            dwt_level(np.array([1.0]), "haar")
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            dwt_level(np.zeros(12), "haar")
+
+    def test_idwt_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            idwt_level(np.zeros(4), np.zeros(8), "haar")
+
+
+class TestMultilevel:
+    @pytest.mark.parametrize("filt", FILTERS)
+    @pytest.mark.parametrize("n", [2, 8, 64, 256])
+    def test_roundtrip(self, filt, n, rng):
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(waverec(wavedec(x, filt), filt), x, atol=1e-9)
+
+    @pytest.mark.parametrize("filt", FILTERS)
+    def test_parseval(self, filt, rng):
+        x = rng.normal(size=128)
+        c = wavedec(x, filt)
+        assert np.sum(c**2) == pytest.approx(np.sum(x**2))
+
+    @pytest.mark.parametrize("filt", FILTERS)
+    def test_inner_products_preserved(self, filt, rng):
+        x = rng.normal(size=64)
+        y = rng.normal(size=64)
+        assert float(wavedec(x, filt) @ wavedec(y, filt)) == pytest.approx(float(x @ y))
+
+    def test_constant_concentrates_at_zero(self):
+        """The transform of a constant has a single nonzero (index 0)."""
+        x = np.full(64, 3.0)
+        for filt in FILTERS:
+            c = wavedec(x, filt)
+            assert c[0] == pytest.approx(3.0 * sqrt(64.0))
+            np.testing.assert_allclose(c[1:], 0.0, atol=1e-10)
+
+    def test_partial_levels(self, rng):
+        x = rng.normal(size=32)
+        c = wavedec(x, "db2", levels=2)
+        np.testing.assert_allclose(waverec(c, "db2", levels=2), x, atol=1e-10)
+        # With 2 levels the first quarter is the level-2 approximation.
+        a1, _ = dwt_level(x, "db2")
+        a2, _ = dwt_level(a1, "db2")
+        np.testing.assert_allclose(c[:8], a2, atol=1e-12)
+
+    def test_zero_levels_is_identity(self, rng):
+        x = rng.normal(size=16)
+        np.testing.assert_allclose(wavedec(x, "haar", levels=0), x)
+
+    def test_rejects_too_many_levels(self):
+        with pytest.raises(ValueError):
+            wavedec(np.zeros(8), "haar", levels=4)
+
+    def test_packed_layout_haar(self):
+        """Full-depth Haar packed layout on a delta signal."""
+        x = np.zeros(8)
+        x[0] = 1.0
+        c = wavedec(x, "haar")
+        # cA_3 at [0], cD_3 at [1], cD_2 at [2:4], cD_1 at [4:8].
+        assert c[0] == pytest.approx(1 / sqrt(8.0))
+        assert c[1] == pytest.approx(1 / sqrt(8.0))
+        assert c[2] == pytest.approx(1 / 2.0)
+        assert c[4] == pytest.approx(1 / sqrt(2.0))
+        assert np.count_nonzero(np.abs(c) > 1e-12) == 4
+
+
+class TestMultiDimensional:
+    @pytest.mark.parametrize("filt", FILTERS)
+    def test_roundtrip_2d(self, filt, data_2d):
+        c = wavedec_nd(data_2d, filt)
+        np.testing.assert_allclose(waverec_nd(c, filt), data_2d, atol=1e-9)
+
+    @pytest.mark.parametrize("filt", ["haar", "db2"])
+    def test_roundtrip_3d(self, filt, data_3d):
+        c = wavedec_nd(data_3d, filt)
+        np.testing.assert_allclose(waverec_nd(c, filt), data_3d, atol=1e-9)
+
+    def test_parseval_nd(self, data_3d):
+        c = wavedec_nd(data_3d, "db2")
+        assert np.sum(c**2) == pytest.approx(np.sum(data_3d**2))
+
+    def test_separability(self, rng):
+        """The transform of an outer product is the outer product of transforms."""
+        u = rng.normal(size=16)
+        v = rng.normal(size=8)
+        c = wavedec_nd(np.outer(u, v), "db2")
+        np.testing.assert_allclose(
+            c, np.outer(wavedec(u, "db2"), wavedec(v, "db2")), atol=1e-10
+        )
+
+    def test_axes_subset(self, rng):
+        arr = rng.normal(size=(8, 8))
+        c = wavedec_nd(arr, "haar", axes=(0,))
+        np.testing.assert_allclose(waverec_nd(c, "haar", axes=(0,)), arr, atol=1e-10)
+        # Axis 1 untouched: transforming each column only.
+        np.testing.assert_allclose(c[:, 3], wavedec(arr[:, 3], "haar"), atol=1e-12)
+
+    def test_rejects_bad_axis_length(self):
+        with pytest.raises(ValueError):
+            wavedec_nd(np.zeros((8, 12)), "haar")
+
+
+class TestLayoutHelpers:
+    def test_detail_slices_tile_the_vector(self):
+        n = 32
+        covered = [False] * n
+        sl = approx_slice(n)
+        for i in range(sl.start, sl.stop):
+            covered[i] = True
+        for level in range(1, 6):
+            sl = detail_slice(n, level)
+            assert sl.stop - sl.start == n >> level
+            for i in range(sl.start, sl.stop):
+                assert not covered[i]
+                covered[i] = True
+        assert all(covered)
+
+    def test_detail_slice_bounds(self):
+        with pytest.raises(ValueError):
+            detail_slice(16, 0)
+        with pytest.raises(ValueError):
+            detail_slice(16, 5)
+
+    def test_approx_slice_partial(self):
+        assert approx_slice(16, 2) == slice(0, 4)

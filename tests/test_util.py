@@ -1,0 +1,69 @@
+"""Unit tests for the shared helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import (
+    check_index_in_domain,
+    check_power_of_two,
+    check_shape,
+    is_power_of_two,
+    log2_int,
+    next_power_of_two,
+    prod,
+)
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 1024, 1 << 30])
+    def test_accepts_powers(self, n):
+        assert is_power_of_two(n)
+        assert check_power_of_two(n) == n
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 1000])
+    def test_rejects_non_powers(self, n):
+        assert not is_power_of_two(n)
+        with pytest.raises(ValueError):
+            check_power_of_two(n)
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_power_of_two(True)
+        with pytest.raises(TypeError):
+            check_power_of_two(4.0)
+
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (8, 3), (1024, 10)])
+    def test_log2_int(self, n, expected):
+        assert log2_int(n) == expected
+
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (1025, 2048)]
+    )
+    def test_next_power_of_two(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+
+class TestShapes:
+    def test_check_shape(self):
+        assert check_shape([4, 8]) == (4, 8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_shape([])
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            check_shape([4, 6])
+
+    def test_check_index(self):
+        assert check_index_in_domain((1, 3), (4, 4)) == (1, 3)
+        with pytest.raises(ValueError):
+            check_index_in_domain((4, 0), (4, 4))
+        with pytest.raises(ValueError):
+            check_index_in_domain((0,), (4, 4))
+
+    def test_prod(self):
+        assert prod([]) == 1
+        assert prod([2, 3, 4]) == 24
+        assert isinstance(prod([2**40, 2**40]), int)  # no overflow

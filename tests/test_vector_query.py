@@ -1,0 +1,131 @@
+"""Unit tests for vector queries and batches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries.polynomial import Polynomial
+from repro.queries.range import HyperRect
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.wavelets.transform import wavedec_nd
+
+
+class TestConstructors:
+    def test_count(self):
+        q = VectorQuery.count(HyperRect.from_bounds([(0, 3), (1, 2)]))
+        assert q.degree == 0
+        assert q.polynomial.is_constant()
+
+    def test_sum(self):
+        q = VectorQuery.sum(HyperRect.from_bounds([(0, 3), (1, 2)]), 1)
+        assert q.degree == 1
+        assert dict(q.polynomial.monomials()) == {(0, 1): 1.0}
+
+    def test_sum_product(self):
+        q = VectorQuery.sum_product(HyperRect.from_bounds([(0, 3), (1, 2)]), 0, 1)
+        assert dict(q.polynomial.monomials()) == {(1, 1): 1.0}
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            VectorQuery(
+                rect=HyperRect.from_bounds([(0, 1)]),
+                polynomial=Polynomial.constant(2),
+            )
+
+
+class TestDenseEvaluation:
+    def test_count_counts(self, rng):
+        data = rng.integers(0, 5, size=(8, 8)).astype(float)
+        rect = HyperRect.from_bounds([(2, 5), (0, 3)])
+        q = VectorQuery.count(rect)
+        assert q.evaluate_dense(data) == pytest.approx(float(data[2:6, 0:4].sum()))
+
+    def test_sum_weights_by_attribute(self, rng):
+        data = rng.random((8, 8))
+        rect = HyperRect.from_bounds([(1, 6), (2, 4)])
+        q = VectorQuery.sum(rect, 0)
+        expected = sum(
+            x0 * data[x0, x1] for x0 in range(1, 7) for x1 in range(2, 5)
+        )
+        assert q.evaluate_dense(data) == pytest.approx(expected)
+
+    def test_sum_product(self, rng):
+        data = rng.random((8, 8))
+        rect = HyperRect.from_bounds([(0, 7), (0, 7)])
+        q = VectorQuery.sum_product(rect, 0, 1)
+        expected = sum(
+            x0 * x1 * data[x0, x1] for x0 in range(8) for x1 in range(8)
+        )
+        assert q.evaluate_dense(data) == pytest.approx(expected)
+
+    def test_dense_vector_outside_range_is_zero(self):
+        q = VectorQuery.count(HyperRect.from_bounds([(1, 2), (1, 2)]))
+        v = q.dense_vector((4, 4))
+        assert v.sum() == 4.0
+        assert v[0, 0] == 0.0 and v[3, 3] == 0.0
+
+
+class TestWaveletTensor:
+    @pytest.mark.parametrize("filt", ["haar", "db2"])
+    def test_equals_transform_of_dense_vector(self, filt):
+        shape = (16, 8)
+        q = VectorQuery.sum(HyperRect.from_bounds([(3, 12), (2, 6)]), 0)
+        tensor = q.wavelet_tensor(filt, shape)
+        np.testing.assert_allclose(
+            tensor.to_dense(), wavedec_nd(q.dense_vector(shape), filt), atol=1e-9
+        )
+
+    def test_validates_domain(self):
+        q = VectorQuery.count(HyperRect.from_bounds([(0, 20)]))
+        with pytest.raises(ValueError):
+            q.wavelet_tensor("haar", (16,))
+
+
+class TestQueryBatch:
+    def test_basic_properties(self):
+        rects = [HyperRect.from_bounds([(0, 3), (0, 3)]) for _ in range(3)]
+        batch = QueryBatch(
+            [VectorQuery.count(rects[0]), VectorQuery.sum(rects[1], 0),
+             VectorQuery.sum_product(rects[2], 0, 1)],
+            name="test",
+        )
+        assert batch.size == len(batch) == 3
+        assert batch.ndim == 2
+        # degree is the paper's per-variable delta: x0*x1 has delta == 1.
+        assert batch.degree == 1
+        assert batch[1].degree == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            QueryBatch([])
+
+    def test_rejects_mixed_dimensions(self):
+        with pytest.raises(ValueError):
+            QueryBatch(
+                [
+                    VectorQuery.count(HyperRect.from_bounds([(0, 1)])),
+                    VectorQuery.count(HyperRect.from_bounds([(0, 1), (0, 1)])),
+                ]
+            )
+
+    def test_labels(self):
+        batch = QueryBatch(
+            [
+                VectorQuery.count(HyperRect.from_bounds([(0, 1)]), label="a"),
+                VectorQuery.count(HyperRect.from_bounds([(0, 1)])),
+            ]
+        )
+        assert batch.labels() == ["a", "q1"]
+
+    def test_exact_dense(self, rng):
+        data = rng.random((8, 8))
+        batch = QueryBatch(
+            [
+                VectorQuery.count(HyperRect.from_bounds([(0, 7), (0, 7)])),
+                VectorQuery.count(HyperRect.from_bounds([(0, 3), (0, 3)])),
+            ]
+        )
+        answers = batch.exact_dense(data)
+        assert answers[0] == pytest.approx(float(data.sum()))
+        assert answers[1] == pytest.approx(float(data[:4, :4].sum()))

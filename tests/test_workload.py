@@ -1,0 +1,126 @@
+"""Unit tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries.range import HyperRect, is_partition
+from repro.queries.workload import (
+    drill_down_batch,
+    partition_count_batch,
+    partition_sum_batch,
+    random_partition,
+    random_rectangles,
+    sliding_cursor_batches,
+)
+
+
+class TestRandomPartition:
+    def test_partitions_domain(self):
+        rng = np.random.default_rng(7)
+        rects = random_partition((16, 16), (4, 2), rng=rng)
+        assert len(rects) == 8
+        assert is_partition(rects, (16, 16))
+
+    def test_single_cell(self):
+        rects = random_partition((8,), (1,), rng=np.random.default_rng(0))
+        assert len(rects) == 1
+        assert rects[0].bounds == ((0, 7),)
+
+    def test_max_cells(self):
+        rects = random_partition((4,), (4,), rng=np.random.default_rng(0))
+        assert len(rects) == 4
+        assert is_partition(rects, (4,))
+
+    def test_reproducible(self):
+        a = random_partition((16, 8), (3, 2), rng=np.random.default_rng(5))
+        b = random_partition((16, 8), (3, 2), rng=np.random.default_rng(5))
+        assert [r.bounds for r in a] == [r.bounds for r in b]
+
+    def test_rejects_too_many_pieces(self):
+        with pytest.raises(ValueError):
+            random_partition((4,), (5,), rng=np.random.default_rng(0))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            random_partition((4, 4), (2,), rng=np.random.default_rng(0))
+
+
+class TestPartitionBatches:
+    def test_sum_batch_cells_cover_grouping_dims(self):
+        rng = np.random.default_rng(3)
+        batch = partition_sum_batch((8, 8, 16), (2, 2), measure_attribute=2, rng=rng)
+        assert batch.size == 4
+        for q in batch:
+            assert q.rect.bounds[2] == (0, 15)  # measure keeps its full range
+            assert q.degree == 1
+        # Grouping projections tile the (8, 8) grouping domain.
+        projected = [HyperRect(q.rect.bounds[:2]) for q in batch]
+        assert is_partition(projected, (8, 8))
+
+    def test_count_batch_partitions(self):
+        batch = partition_count_batch((16, 16), (4, 4), rng=np.random.default_rng(1))
+        assert batch.size == 16
+        assert is_partition([q.rect for q in batch], (16, 16))
+        assert all(q.degree == 0 for q in batch)
+
+    def test_sum_batch_rejects_bad_measure(self):
+        with pytest.raises(ValueError):
+            partition_sum_batch((8, 8), (2,), measure_attribute=5)
+
+
+class TestDrillDown:
+    def test_tiles_the_parent(self):
+        parent = HyperRect.from_bounds([(4, 11), (2, 9)])
+        batch = drill_down_batch(parent, (2, 2), rng=np.random.default_rng(0))
+        assert batch.size == 4
+        total = sum(q.rect.volume for q in batch)
+        assert total == parent.volume
+        for q in batch:
+            assert parent.intersect(q.rect).bounds == q.rect.bounds
+
+    def test_with_measure(self):
+        parent = HyperRect.from_bounds([(0, 7), (0, 7)])
+        batch = drill_down_batch(
+            parent, (2, 1), rng=np.random.default_rng(0), measure_attribute=1
+        )
+        assert all(q.degree == 1 for q in batch)
+
+
+class TestRandomRectangles:
+    def test_within_domain(self):
+        rects = random_rectangles((16, 8), 20, rng=np.random.default_rng(2))
+        assert len(rects) == 20
+        for r in rects:
+            r.validate_for((16, 8))
+
+    def test_min_extent(self):
+        rects = random_rectangles(
+            (16,), 10, rng=np.random.default_rng(2), min_extent=4
+        )
+        assert all(r.volume >= 4 for r in rects)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            random_rectangles((8,), 0)
+        with pytest.raises(ValueError):
+            random_rectangles((8,), 1, min_extent=0)
+
+
+class TestSlidingCursor:
+    def test_covers_batch(self):
+        batch = partition_count_batch((16,), (8,), rng=np.random.default_rng(0))
+        windows = sliding_cursor_batches(batch, window=3, step=2)
+        assert windows[0] == (0, [0, 1, 2])
+        covered = set()
+        for _, idx in windows:
+            covered.update(idx)
+        assert covered == set(range(8))
+
+    def test_rejects_bad_args(self):
+        batch = partition_count_batch((16,), (4,), rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sliding_cursor_batches(batch, window=0)
+        with pytest.raises(ValueError):
+            sliding_cursor_batches(batch, window=2, step=0)
