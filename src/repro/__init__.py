@@ -39,6 +39,9 @@ Subpackages
 ``repro.stats``
     Range-level derived statistics (average, variance, covariance,
     regression, ANOVA) built on vector queries.
+``repro.service``
+    The concurrent progressive query service: many live sessions over one
+    store with cross-batch I/O sharing and an optional paged disk tier.
 """
 
 from repro.core.batch import BatchBiggestB, ProgressiveStep
@@ -79,10 +82,17 @@ from repro.queries.workload import (
     random_rectangles,
     sliding_cursor_batches,
 )
+from repro.service.scheduler import SharedRetrievalScheduler
+from repro.service.server import (
+    ProgressiveQueryService,
+    ServiceMetrics,
+    SessionSnapshot,
+)
 from repro.storage.counter import CountingStore, IOStatistics
 from repro.storage.identity import IdentityStorage
 from repro.storage.local_prefix_sum import LocalPrefixSumStorage
 from repro.storage.nonstandard_store import NonstandardWaveletStorage
+from repro.storage.paged import PagedCoefficientStore
 from repro.storage.prefix_sum import PrefixSumStorage
 from repro.storage.wavelet_store import WaveletStorage
 from repro.wavelets.filters import WaveletFilter, daubechies_filter, get_filter
@@ -123,7 +133,12 @@ __all__ = [
     "IOStatistics",
     "IdentityStorage",
     "LocalPrefixSumStorage",
+    "PagedCoefficientStore",
+    "ProgressiveQueryService",
     "ProgressiveSession",
+    "ServiceMetrics",
+    "SessionSnapshot",
+    "SharedRetrievalScheduler",
     "ProgressiveRanker",
     "DataSynopsis",
     "DerivedBatch",

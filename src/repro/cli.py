@@ -6,16 +6,21 @@ Usage (after ``pip install -e .``):
     python -m repro explain  --dataset temperature --cells 4,4,2,2
     python -m repro run      --dataset temperature --cells 4,4,2,2 \
         --penalty cursored --budget 512
+    python -m repro serve-demo --dataset uniform --shape 64,64 \
+        --clients 4 --paged
 
 The CLI mirrors the benchmark harness at whatever scale you ask for; it is
-the quickest way to eyeball the paper's Observations 1-3 on your own
-parameters.
+the quickest way to eyeball the paper's Observations 1-3 — and the service
+layer's cross-batch sharing — on your own parameters.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
+import threading
+from pathlib import Path
 
 import numpy as np
 
@@ -38,6 +43,7 @@ from repro.data.synthetic import (
     zipf_dataset,
 )
 from repro.queries.workload import partition_count_batch, partition_sum_batch
+from repro.service.server import ProgressiveQueryService
 from repro.storage.wavelet_store import WaveletStorage
 
 _DEFAULT_SHAPES = {
@@ -53,6 +59,16 @@ def _parse_ints(text: str) -> tuple[int, ...]:
         return tuple(int(p) for p in text.split(","))
     except ValueError:
         raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
 
 
 def _build_relation(args: argparse.Namespace) -> Relation:
@@ -162,6 +178,95 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve_demo(args: argparse.Namespace) -> int:
+    """N concurrent dashboards against one service: the sharing payoff."""
+    relation = _build_relation(args)
+    delta = relation.frequency_distribution()
+    storage = WaveletStorage.build(delta, wavelet=args.wavelet)
+    tmpdir: tempfile.TemporaryDirectory | None = None
+    if args.paged:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-paged-")
+        storage = storage.paged(
+            Path(tmpdir.name) / "coefficients.pages",
+            page_size=args.page_size,
+            buffer_pages=args.buffer_pages,
+        )
+    try:
+        rng_seeds = range(args.seed + 1, args.seed + 1 + args.clients)
+        batches = []
+        for seed in rng_seeds:
+            rng = np.random.default_rng(seed)
+            if args.dataset == "temperature":
+                batches.append(
+                    partition_sum_batch(
+                        relation.shape,
+                        args.cells,
+                        measure_attribute=relation.ndim - 1,
+                        rng=rng,
+                        min_width=args.min_width,
+                    )
+                )
+            else:
+                batches.append(
+                    partition_count_batch(
+                        relation.shape, args.cells, rng=rng, min_width=args.min_width
+                    )
+                )
+
+        service = ProgressiveQueryService(storage)
+        answers: dict[int, np.ndarray] = {}
+
+        def client(idx: int) -> None:
+            session_id = service.submit(batches[idx])
+            while not service.poll(session_id).is_exact:
+                service.advance(session_id, args.chunk)
+            answers[idx] = service.poll(session_id).estimates
+
+        threads = [
+            threading.Thread(target=client, args=(i,), name=f"client-{i}")
+            for i in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        independent = sum(
+            BatchBiggestB(storage, batch).master_list_size for batch in batches
+        )
+        metrics = service.metrics()
+        ok = all(
+            np.allclose(answers[i], batches[i].exact_dense(delta), rtol=1e-7, atol=1e-6)
+            for i in range(args.clients)
+        )
+        print(
+            f"{args.clients} concurrent clients x {batches[0].size} queries "
+            f"over a {'x'.join(map(str, relation.shape))} domain"
+        )
+        print(
+            f"independent evaluation: {independent:,} retrievals | "
+            f"shared service: {metrics.retrievals:,} "
+            f"({independent / metrics.retrievals:.2f}x saving)"
+        )
+        print(
+            f"deliveries: {metrics.deliveries:,} | shared hits: "
+            f"{metrics.shared_deliveries:,} "
+            f"({metrics.shared_hit_ratio:.1%} of deliveries were free)"
+        )
+        if metrics.page_cache is not None:
+            pc = metrics.page_cache
+            print(
+                f"page buffer pool: {pc['hits']:,} hits / {pc['misses']:,} misses "
+                f"/ {pc['evictions']:,} evictions ({pc['hit_ratio']:.1%} hit ratio)"
+            )
+        print(f"all clients exact: {ok}")
+        return 0 if ok else 1
+    finally:
+        if tmpdir is not None:
+            storage.store.close()
+            tmpdir.cleanup()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -190,6 +295,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--budget", type=int, default=512,
                        help="progressive checkpoint (retrievals)")
     p_run.set_defaults(func=cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve-demo",
+        help="drive N concurrent clients against one shared query service",
+    )
+    _add_common(p_serve)
+    _add_batch_args(p_serve)
+    p_serve.add_argument("--clients", type=_positive_int, default=4,
+                         help="concurrent client threads, one batch each")
+    p_serve.add_argument("--chunk", type=_positive_int, default=64,
+                         help="coefficients gained per advance() call")
+    p_serve.add_argument("--paged", action="store_true",
+                         help="serve coefficients from a paged disk file")
+    p_serve.add_argument("--page-size", type=_positive_int, default=1024,
+                         dest="page_size", help="coefficients per disk page")
+    p_serve.add_argument("--buffer-pages", type=int, default=64,
+                         dest="buffer_pages", help="LRU buffer pool capacity")
+    p_serve.set_defaults(func=cmd_serve_demo)
     return parser
 
 

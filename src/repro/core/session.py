@@ -12,9 +12,13 @@ the Figure-1 loop with exactly that control surface:
   by the new importance function, which is exactly how Batch-Biggest-B
   would have continued had the new penalty been supplied at that point;
 * :meth:`run_until` advances until the Theorem-1 worst-case bound or an
-  observed-estimate predicate is satisfied.
+  observed-estimate predicate is satisfied;
+* :meth:`deliver` applies a coefficient that was retrieved *elsewhere* —
+  the hook :class:`~repro.service.scheduler.SharedRetrievalScheduler` uses
+  to share one retrieval across every concurrent session that needs it.
 
-The session never retrieves a coefficient twice.
+The session never retrieves a coefficient twice, whether it fetched the
+coefficient itself or received it from a scheduler.
 """
 
 from __future__ import annotations
@@ -46,11 +50,13 @@ class ProgressiveSession:
         self.plan = QueryPlan.from_rewrites(self.rewrites)
         self.estimates = np.zeros(batch.size)
         self._retrieved = np.zeros(self.plan.num_keys, dtype=bool)
+        self._coefficients = np.zeros(self.plan.num_keys)
         self._entry_order, self._offsets = self.plan.csr_by_key()
         self._importance = self.plan.importance(self.penalty)
         self._heap: list[tuple[float, int, int]] = []
         self._rebuild_heap()
         self._k_const: float | None = None
+        self._k_const_version: int | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -58,7 +64,7 @@ class ProgressiveSession:
 
     @property
     def steps_taken(self) -> int:
-        """Coefficients retrieved so far."""
+        """Coefficients retrieved so far (self-fetched and delivered)."""
         return int(self._retrieved.sum())
 
     @property
@@ -71,12 +77,46 @@ class ProgressiveSession:
         """True once every master-list coefficient has been retrieved."""
         return self.remaining == 0
 
+    def retrieved_keys(self) -> np.ndarray:
+        """Master-list keys whose coefficients are already held."""
+        return self.plan.keys[self._retrieved]
+
+    def pending(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(keys, importance)`` of the not-yet-retrieved master keys.
+
+        The scheduler hook: a shared scheduler seeds its global heap from
+        every live session's pending view.
+        """
+        mask = ~self._retrieved
+        return self.plan.keys[mask], self._importance[mask]
+
+    def key_position(self, key: int) -> int | None:
+        """Master-list position of ``key``, or None if not in this batch."""
+        pos = int(np.searchsorted(self.plan.keys, key))
+        if pos < self.plan.num_keys and int(self.plan.keys[pos]) == int(key):
+            return pos
+        return None
+
+    def is_pending(self, key: int) -> bool:
+        """True when ``key`` is in the master list and not yet retrieved."""
+        pos = self.key_position(key)
+        return pos is not None and not self._retrieved[pos]
+
     def worst_case_bound(self) -> float:
-        """Theorem-1 bound on the penalty of the *current* estimates."""
+        """Theorem-1 bound on the penalty of the *current* estimates.
+
+        The constant ``K = sum |Delta_hat|`` is cached, but the cache is
+        tied to the store's mutation counter: streaming inserts change the
+        stored coefficients, so a bound computed after an update reflects
+        the updated store.
+        """
+        self._prune_heap()
         if not self._heap:
             return 0.0
-        if self._k_const is None:
+        version = getattr(self.storage.store, "version", None)
+        if self._k_const is None or version != self._k_const_version:
             self._k_const = self.storage.total_l1()
+            self._k_const_version = version
         next_iota = -self._heap[0][0]
         return float(self._k_const**self.penalty.homogeneity * next_iota)
 
@@ -103,17 +143,25 @@ class ProgressiveSession:
         while done < k and self._heap:
             neg_iota, key, pos = heapq.heappop(self._heap)
             if self._retrieved[pos]:
-                continue  # stale entry from a penalty switch
+                continue  # stale entry from a penalty switch or a delivery
             coefficient = float(self.storage.store.fetch(np.array([key]))[0])
-            self._retrieved[pos] = True
-            segment = self._entry_order[self._offsets[pos] : self._offsets[pos + 1]]
-            np.add.at(
-                self.estimates,
-                self.plan.entry_qid[segment],
-                self.plan.entry_val[segment] * coefficient,
-            )
+            self._apply(pos, coefficient)
             done += 1
         return done
+
+    def deliver(self, key: int, coefficient: float) -> bool:
+        """Apply a coefficient retrieved externally (scheduler hook).
+
+        Marks ``key`` as retrieved and advances the estimates exactly as if
+        :meth:`advance` had fetched it, but without touching the store —
+        the caller already paid the retrieval.  Returns True when the key
+        was pending (False: not in the master list, or already held).
+        """
+        pos = self.key_position(key)
+        if pos is None or self._retrieved[pos]:
+            return False
+        self._apply(pos, float(coefficient))
+        return True
 
     def set_penalty(self, penalty: Penalty) -> None:
         """Re-rank the remaining retrievals under a new penalty.
@@ -163,9 +211,37 @@ class ProgressiveSession:
         self.advance(self.remaining + len(self._heap))
         return self.estimates.copy()
 
+    def exact_answers(self) -> np.ndarray:
+        """Exact answers rebuilt from the held coefficients.
+
+        Only valid once :attr:`is_exact`.  Unlike :attr:`estimates` — which
+        accumulates one coefficient at a time in retrieval order — this
+        recomputes the answers with the same single
+        :meth:`~repro.core.plan.QueryPlan.exact_estimates` reduction that
+        :meth:`BatchBiggestB.run` uses, so the result is bit-identical to an
+        independent batch evaluation regardless of delivery order.
+        """
+        if not self.is_exact:
+            raise ValueError("session is not exhausted; answers are estimates")
+        return self.plan.exact_estimates(self._coefficients)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _apply(self, pos: int, coefficient: float) -> None:
+        self._retrieved[pos] = True
+        self._coefficients[pos] = coefficient
+        segment = self._entry_order[self._offsets[pos] : self._offsets[pos + 1]]
+        np.add.at(
+            self.estimates,
+            self.plan.entry_qid[segment],
+            self.plan.entry_val[segment] * coefficient,
+        )
+
+    def _prune_heap(self) -> None:
+        while self._heap and self._retrieved[self._heap[0][2]]:
+            heapq.heappop(self._heap)
 
     def _rebuild_heap(self) -> None:
         pending = np.nonzero(~self._retrieved)[0]

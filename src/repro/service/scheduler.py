@@ -1,0 +1,220 @@
+"""Cross-batch I/O sharing: one retrieval schedule over many sessions.
+
+Observation 1 merges the supports of *one* batch so each coefficient is
+fetched once.  A service runs many batches at once, and their supports
+overlap too — whole-domain partitions share every coarse wavelet key.  The
+:class:`SharedRetrievalScheduler` extends the merge across sessions:
+
+* every live :class:`~repro.core.session.ProgressiveSession` contributes
+  its pending ``(key, importance)`` pairs to one global heap;
+* the scheduler pops the globally most important coefficient — the max of
+  the per-session importances (Definition 3), which is the natural batch
+  importance of the union workload under a max-combined penalty;
+* the coefficient is fetched from the store **once** and delivered to
+  every session whose master list contains it
+  (:meth:`ProgressiveSession.deliver`), so concurrent batches never pay
+  for the same key twice;
+* fetched coefficients stay in a coefficient cache while any live session
+  holds them, so a session submitted later gets overlapping keys served
+  without new I/O (the Storyboard-style reuse of precomputed state).
+
+The heap is lazy: entries invalidated by a delivery, a penalty switch or a
+cancellation are skipped on pop instead of being removed eagerly, which
+keeps every mutation O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.session import ProgressiveSession
+
+
+@dataclass
+class SchedulerMetrics:
+    """Counters for the shared retrieval schedule.
+
+    Attributes
+    ----------
+    retrievals:
+        Coefficient fetches issued against the store — the paper's cost.
+    deliveries:
+        Coefficient applications into sessions.  With sharing, deliveries
+        exceed retrievals; the surplus is I/O another session already paid.
+    cache_deliveries:
+        Deliveries served from the coefficient cache (no fetch at all:
+        the key was retrieved for a session that is still live).
+    """
+
+    retrievals: int = 0
+    deliveries: int = 0
+    cache_deliveries: int = 0
+
+    @property
+    def shared_deliveries(self) -> int:
+        """Deliveries that did not require their own fetch."""
+        return self.deliveries - self.retrievals
+
+    @property
+    def shared_hit_ratio(self) -> float:
+        """Fraction of deliveries that re-used another session's fetch."""
+        return self.shared_deliveries / self.deliveries if self.deliveries else 0.0
+
+
+@dataclass
+class _Registration:
+    session: ProgressiveSession
+    epoch: int = 0
+    delivered: int = field(default=0)
+
+
+class SharedRetrievalScheduler:
+    """A global biggest-B schedule over many progressive sessions.
+
+    Thread-safe: every public method holds the scheduler lock, so client
+    threads can drive different sessions concurrently against one store.
+    """
+
+    def __init__(self, store) -> None:
+        #: The shared coefficient store (a CountingStore or a
+        #: PagedCoefficientStore — anything with ``fetch``).
+        self.store = store
+        self.metrics = SchedulerMetrics()
+        self._lock = threading.RLock()
+        self._heap: list[tuple[float, int, int, int]] = []
+        self._registrations: dict[int, _Registration] = {}
+        self._interest: dict[int, set[int]] = {}
+        self._coefficients: dict[int, float] = {}
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def register(self, session: ProgressiveSession) -> int:
+        """Add a live session; returns its scheduler id."""
+        with self._lock:
+            sid = next(self._ids)
+            reg = _Registration(session)
+            self._registrations[sid] = reg
+            keys, _ = session.pending()
+            for key in keys.tolist():
+                self._interest.setdefault(key, set()).add(sid)
+            self._push_pending(sid, reg)
+            return sid
+
+    def deregister(self, sid: int) -> None:
+        """Drop a session; cached keys nobody else holds are released."""
+        with self._lock:
+            reg = self._registrations.pop(sid, None)
+            if reg is None:
+                return
+            for key in list(self._interest):
+                holders = self._interest[key]
+                holders.discard(sid)
+                if not holders:
+                    del self._interest[key]
+                    self._coefficients.pop(key, None)
+
+    def reprioritize(self, sid: int) -> None:
+        """Re-seed a session's heap entries after a penalty switch."""
+        with self._lock:
+            reg = self._registrations[sid]
+            reg.epoch += 1
+            self._push_pending(sid, reg)
+
+    @property
+    def live_sessions(self) -> int:
+        with self._lock:
+            return len(self._registrations)
+
+    # ------------------------------------------------------------------
+    # The shared schedule
+    # ------------------------------------------------------------------
+
+    def step(self) -> int | None:
+        """Serve the globally most important pending coefficient.
+
+        Fetches the coefficient once (or reads it from the coefficient
+        cache) and delivers it to every session whose master list still
+        needs it.  Returns the key served, or None when no session has
+        pending work.
+        """
+        with self._lock:
+            while self._heap:
+                _, key, sid, epoch = heapq.heappop(self._heap)
+                reg = self._registrations.get(sid)
+                if reg is None or reg.epoch != epoch:
+                    continue  # cancelled session or stale priority
+                if not reg.session.is_pending(key):
+                    continue  # already delivered through another pop
+                return self._serve(key)
+            return None
+
+    def advance_session(self, sid: int, k: int = 1) -> int:
+        """Run shared steps until session ``sid`` gains ``k`` coefficients.
+
+        Other sessions receive every popped coefficient they need along
+        the way — that is the point.  Returns the number of coefficients
+        the target session actually gained (less than ``k`` only at
+        exhaustion).
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        with self._lock:
+            session = self._registrations[sid].session
+            start = session.steps_taken
+            while session.steps_taken - start < k and not session.is_exact:
+                if self.step() is None:
+                    break
+            return session.steps_taken - start
+
+    def drain(self) -> int:
+        """Serve until every live session is exact; returns steps served."""
+        with self._lock:
+            served = 0
+            while self.step() is not None:
+                served += 1
+            return served
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _push_pending(self, sid: int, reg: _Registration) -> None:
+        keys, importance = reg.session.pending()
+        epoch = reg.epoch
+        for key, iota in zip(keys.tolist(), importance.tolist()):
+            heapq.heappush(self._heap, (-float(iota), int(key), sid, epoch))
+
+    def _serve(self, key: int) -> int:
+        if key in self._coefficients:
+            coefficient = self._coefficients[key]
+            fetched = False
+        else:
+            coefficient = float(self.store.fetch(np.array([key]))[0])
+            self.metrics.retrievals += 1
+            fetched = True
+            # Cache while any live session holds the key, so overlapping
+            # batches submitted later reuse the fetch without I/O.
+            self._coefficients[key] = coefficient
+        for sid in self._interest.get(key, ()):
+            reg = self._registrations.get(sid)
+            if reg is None:
+                continue
+            if reg.session.deliver(key, coefficient):
+                self.metrics.deliveries += 1
+                reg.delivered += 1
+                if not fetched:
+                    self.metrics.cache_deliveries += 1
+        return key
+
+    def delivered_count(self, sid: int) -> int:
+        """Coefficients delivered into session ``sid`` by this scheduler."""
+        with self._lock:
+            return self._registrations[sid].delivered

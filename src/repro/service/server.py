@@ -1,0 +1,202 @@
+"""The progressive query service façade.
+
+:class:`ProgressiveQueryService` is the front door of the service layer:
+clients submit query batches, poll progressive estimates with Theorem-1
+worst-case bounds, re-target penalties as their cursor moves, and cancel
+when the accuracy suffices — while one
+:class:`~repro.service.scheduler.SharedRetrievalScheduler` merges every
+live session's retrieval schedule so overlapping batches share I/O, and
+the coefficients themselves can live on a paged disk tier
+(:class:`~repro.storage.paged.PagedCoefficientStore`) behind an LRU
+buffer pool.
+
+All public methods are thread-safe; a dashboard per client thread driving
+one service object is the intended deployment shape (see
+``examples/concurrent_dashboards.py`` and ``repro serve-demo``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.penalties import Penalty
+from repro.core.session import ProgressiveSession
+from repro.queries.vector_query import QueryBatch
+from repro.service.scheduler import SharedRetrievalScheduler
+from repro.storage.base import LinearStorage
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """A consistent point-in-time view of one session's progress.
+
+    Attributes
+    ----------
+    session_id:
+        The id :meth:`ProgressiveQueryService.submit` returned.
+    estimates:
+        Progressive answers (exact once ``is_exact``; the exhausted
+        snapshot is rebuilt deterministically, bit-equal to an independent
+        :meth:`~repro.core.batch.BatchBiggestB.run`).
+    steps_taken, remaining:
+        Coefficients held / still pending for this batch.
+    worst_case_bound:
+        Theorem-1 guarantee on the current estimates' penalty.
+    is_exact:
+        True once the master list is exhausted.
+    """
+
+    session_id: str
+    estimates: np.ndarray
+    steps_taken: int
+    remaining: int
+    worst_case_bound: float
+    is_exact: bool
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Service-wide instrumentation snapshot.
+
+    ``retrievals`` counts actual store fetches; ``deliveries`` counts
+    coefficient applications into sessions.  ``shared_hit_ratio`` is the
+    fraction of deliveries that re-used another session's fetch — the
+    service-level generalization of Observation 1.  ``page_cache`` is the
+    paged store's buffer-pool counters when the coefficients live on disk
+    (None for in-memory stores).
+    """
+
+    retrievals: int
+    deliveries: int
+    shared_deliveries: int
+    cache_deliveries: int
+    shared_hit_ratio: float
+    live_sessions: int
+    sessions_submitted: int
+    per_session_steps: dict[str, int] = field(default_factory=dict)
+    page_cache: dict[str, int | float] | None = None
+
+
+class ProgressiveQueryService:
+    """Serve many concurrent progressive batch evaluations over one store."""
+
+    def __init__(self, storage: LinearStorage) -> None:
+        self.storage = storage
+        self.scheduler = SharedRetrievalScheduler(storage.store)
+        self._lock = threading.RLock()
+        self._sessions: dict[str, tuple[ProgressiveSession, int]] = {}
+        self._ids = itertools.count(1)
+        self._submitted = 0
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def submit(self, batch: QueryBatch, penalty: Penalty | None = None) -> str:
+        """Open a progressive session for ``batch``; returns its id.
+
+        The session's master list immediately joins the shared schedule:
+        keys another live session already fetched are served from the
+        coefficient cache as the schedule reaches them.
+        """
+        with self._lock:
+            session = ProgressiveSession(self.storage, batch, penalty=penalty)
+            session_id = f"s{next(self._ids)}"
+            sid = self.scheduler.register(session)
+            self._sessions[session_id] = (session, sid)
+            self._submitted += 1
+            return session_id
+
+    def advance(self, session_id: str, k: int = 1) -> int:
+        """Drive the shared schedule until this session gains ``k`` keys.
+
+        Returns the number of coefficients the session actually gained;
+        every other live session keeps the coefficients popped on the way.
+        """
+        with self._lock:
+            _, sid = self._session(session_id)
+            return self.scheduler.advance_session(sid, k)
+
+    def run_to_completion(self, session_id: str) -> np.ndarray:
+        """Advance until the session is exact; returns the exact answers."""
+        with self._lock:
+            session, sid = self._session(session_id)
+            self.scheduler.advance_session(sid, session.remaining)
+            return session.exact_answers()
+
+    def poll(self, session_id: str) -> SessionSnapshot:
+        """A consistent snapshot of the session's progress and bound."""
+        with self._lock:
+            session, _ = self._session(session_id)
+            estimates = (
+                session.exact_answers() if session.is_exact else session.estimates.copy()
+            )
+            return SessionSnapshot(
+                session_id=session_id,
+                estimates=estimates,
+                steps_taken=session.steps_taken,
+                remaining=session.remaining,
+                worst_case_bound=session.worst_case_bound(),
+                is_exact=session.is_exact,
+            )
+
+    def set_penalty(self, session_id: str, penalty: Penalty) -> None:
+        """Re-target a session (cursor moved); re-ranks its pending keys."""
+        with self._lock:
+            session, sid = self._session(session_id)
+            session.set_penalty(penalty)
+            self.scheduler.reprioritize(sid)
+
+    def cancel(self, session_id: str) -> None:
+        """Close a session; its share of the coefficient cache is released
+        once no other live session holds the keys."""
+        with self._lock:
+            _, sid = self._sessions.pop(session_id)
+            self.scheduler.deregister(sid)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> ServiceMetrics:
+        """A :class:`ServiceMetrics` snapshot (see its docstring)."""
+        with self._lock:
+            m = self.scheduler.metrics
+            per_session = {
+                session_id: session.steps_taken
+                for session_id, (session, _) in self._sessions.items()
+            }
+            cache = getattr(self.storage.store, "cache", None)
+            page_cache = None
+            if cache is not None:
+                page_cache = {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "evictions": cache.evictions,
+                    "hit_ratio": cache.hit_ratio,
+                }
+            return ServiceMetrics(
+                retrievals=m.retrievals,
+                deliveries=m.deliveries,
+                shared_deliveries=m.shared_deliveries,
+                cache_deliveries=m.cache_deliveries,
+                shared_hit_ratio=m.shared_hit_ratio,
+                live_sessions=len(self._sessions),
+                sessions_submitted=self._submitted,
+                per_session_steps=per_session,
+                page_cache=page_cache,
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _session(self, session_id: str) -> tuple[ProgressiveSession, int]:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"unknown or cancelled session {session_id!r}") from None

@@ -24,6 +24,11 @@ from repro.storage.counter import CountingStore, IOStatistics
 from repro.storage.identity import IdentityStorage
 from repro.storage.layout import LAYOUTS, layout_cost_table
 from repro.storage.local_prefix_sum import LocalPrefixSumStorage
+from repro.storage.paged import (
+    PageCacheStats,
+    PagedCoefficientStore,
+    write_paged_file,
+)
 from repro.storage.nonstandard_store import NonstandardWaveletStorage
 from repro.storage.prefix_sum import PrefixSumStorage
 from repro.storage.wavelet_store import WaveletStorage
@@ -40,6 +45,9 @@ __all__ = [
     "layout_cost_table",
     "LocalPrefixSumStorage",
     "NonstandardWaveletStorage",
+    "PageCacheStats",
+    "PagedCoefficientStore",
     "PrefixSumStorage",
     "WaveletStorage",
+    "write_paged_file",
 ]

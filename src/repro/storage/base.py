@@ -19,6 +19,7 @@ identity stores.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -110,6 +111,34 @@ class LinearStorage(ABC):
     def total_l2_squared(self) -> float:
         """``sum_k store[k]**2`` — for Cauchy-Schwarz error bounds."""
         return self.store.total_l2_squared()
+
+    def with_store(self, store) -> "LinearStorage":
+        """A shallow clone of this strategy bound to a different store.
+
+        Rewrites depend only on the strategy's shape/filters, so the clone
+        produces identical query plans while reading coefficients from
+        ``store`` — e.g. a :class:`~repro.storage.paged.PagedCoefficientStore`
+        serving the same coefficients from disk.
+        """
+        clone = copy.copy(self)
+        clone.store = store
+        return clone
+
+    def paged(
+        self, path, page_size: int = 1024, buffer_pages: int = 64
+    ) -> "LinearStorage":
+        """Serialize the current store to ``path`` and serve it paged.
+
+        Returns a clone of this strategy whose coefficients are read
+        through a :class:`~repro.storage.paged.PagedCoefficientStore`
+        (fixed-size disk pages behind a thread-safe LRU buffer pool).
+        """
+        from repro.storage.paged import PagedCoefficientStore
+
+        store = PagedCoefficientStore.from_store(
+            self.store, path, page_size=page_size, buffer_pages=buffer_pages
+        )
+        return self.with_store(store)
 
     def reset_stats(self) -> None:
         """Zero the retrieval counters."""

@@ -76,6 +76,9 @@ class CountingStore:
         self.key_space_size = int(key_space_size)
         self.backend = backend
         self.stats = IOStatistics()
+        #: Mutation counter: bumped by every write so cached aggregates
+        #: (e.g. a session's Theorem-1 constant) can detect staleness.
+        self.version = 0
         if backend == "dense":
             if values is None:
                 self._dense = np.zeros(self.key_space_size, dtype=np.float64)
@@ -131,6 +134,7 @@ class CountingStore:
             raise ValueError("keys and deltas must have equal sizes")
         if keys.size and (keys.min() < 0 or keys.max() >= self.key_space_size):
             raise KeyError("key outside the store's key space")
+        self.version += 1
         if self._dense is not None:
             np.add.at(self._dense, keys, deltas)
             return

@@ -1,0 +1,295 @@
+"""A paged, buffered on-disk coefficient tier.
+
+The paper's cost model treats the coefficient store as constant-time keyed
+storage; its conclusion asks what happens when the coefficients live on
+disk in blocks behind a buffer.  :mod:`repro.storage.blocks` *simulates*
+that question; this module *implements* it: a
+:class:`PagedCoefficientStore` serializes any
+:class:`~repro.storage.counter.CountingStore` into fixed-size pages in a
+single flat file (plain ``struct`` header + raw little-endian float64
+values — no dependencies beyond numpy) and serves reads through a
+thread-safe LRU buffer pool with hit/miss/eviction counters.
+
+The store quacks like a read-only :class:`CountingStore` — ``fetch`` /
+``peek`` / the aggregate methods / ``stats`` — so any
+:class:`~repro.storage.base.LinearStorage` strategy can sit on it
+unchanged (see :meth:`LinearStorage.with_store` and
+:meth:`LinearStorage.paged`), and so can the shared retrieval scheduler in
+:mod:`repro.service`.
+
+File layout (version 1)::
+
+    bytes 0..8    magic  b"RPRPAGE1"
+    bytes 8..56   struct "<qqqddq": key_space_size, page_size, num_pages,
+                  total_l1, total_l2_squared, nonzero_count
+    bytes 56..    num_pages * page_size float64 values (zero padded)
+
+The aggregates are computed once at serialization time, so Theorem-1/2
+constants never require scanning the file.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.counter import IOStatistics
+
+_MAGIC = b"RPRPAGE1"
+_HEADER = struct.Struct("<qqqddq")
+_HEADER_SIZE = len(_MAGIC) + _HEADER.size
+
+
+@dataclass
+class PageCacheStats:
+    """Buffer-pool counters for a paged store.
+
+    Attributes
+    ----------
+    hits:
+        Page requests satisfied from the buffer pool.
+    misses:
+        Page requests that had to read the file.
+    evictions:
+        Pages dropped to respect the pool capacity.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page requests served from the pool (0 when idle)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+def write_paged_file(path, values: np.ndarray, page_size: int = 1024) -> int:
+    """Serialize a dense coefficient vector into the paged file format.
+
+    Returns the number of pages written.
+    """
+    if page_size < 1:
+        raise ValueError("page size must be >= 1")
+    values = np.asarray(values, dtype="<f8").ravel()
+    if values.size == 0:
+        raise ValueError("cannot serialize an empty coefficient vector")
+    num_pages = -(-values.size // page_size)
+    header = _MAGIC + _HEADER.pack(
+        values.size,
+        int(page_size),
+        num_pages,
+        float(np.sum(np.abs(values))),
+        float(np.sum(values**2)),
+        int(np.count_nonzero(values)),
+    )
+    pad = num_pages * page_size - values.size
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(values.tobytes())
+        if pad:
+            fh.write(np.zeros(pad, dtype="<f8").tobytes())
+    return num_pages
+
+
+class PagedCoefficientStore:
+    """Read-only coefficient store over fixed-size disk pages.
+
+    Parameters
+    ----------
+    path:
+        A file written by :func:`write_paged_file` / :meth:`from_store`.
+    buffer_pages:
+        LRU buffer-pool capacity in pages.  Zero disables buffering (every
+        page request reads the file).
+
+    All read paths are thread-safe: the buffer pool, the retrieval
+    counters, and the underlying memmap are guarded by one lock, so many
+    service sessions can fetch concurrently.
+    """
+
+    #: Read-only tier — the store never mutates, so version is constant
+    #: (sessions use this to keep their Theorem-1 constant cached).
+    version = 0
+
+    def __init__(self, path, buffer_pages: int = 64) -> None:
+        if buffer_pages < 0:
+            raise ValueError("buffer capacity must be non-negative")
+        self.path = path
+        self.buffer_pages = int(buffer_pages)
+        with open(path, "rb") as fh:
+            magic = fh.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise ValueError(f"{path!r} is not a paged coefficient file")
+            (
+                self.key_space_size,
+                self.page_size,
+                self.num_pages,
+                self._total_l1,
+                self._total_l2_squared,
+                self._nonzero_count,
+            ) = _HEADER.unpack(fh.read(_HEADER.size))
+        self._mm = np.memmap(
+            path,
+            dtype="<f8",
+            mode="r",
+            offset=_HEADER_SIZE,
+            shape=(self.num_pages * self.page_size,),
+        )
+        self._pool: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = IOStatistics()
+        self.cache = PageCacheStats()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_store(
+        cls, store, path, page_size: int = 1024, buffer_pages: int = 64
+    ) -> "PagedCoefficientStore":
+        """Serialize a :class:`CountingStore` (or anything with
+        ``as_dense``) and open the result."""
+        write_paged_file(path, store.as_dense(), page_size=page_size)
+        return cls(path, buffer_pages=buffer_pages)
+
+    @classmethod
+    def from_dense(
+        cls, values: np.ndarray, path, page_size: int = 1024, buffer_pages: int = 64
+    ) -> "PagedCoefficientStore":
+        """Serialize a dense value vector and open the result."""
+        write_paged_file(path, values, page_size=page_size)
+        return cls(path, buffer_pages=buffer_pages)
+
+    # ------------------------------------------------------------------
+    # Reads (the CountingStore duck type)
+    # ------------------------------------------------------------------
+
+    def fetch(self, keys: np.ndarray) -> np.ndarray:
+        """Retrieve values for ``keys`` (counted), through the buffer pool."""
+        keys = self._check_keys(keys)
+        with self._lock:
+            values = self._gather(keys)
+            self.stats.record(keys, values)
+        return values
+
+    def peek(self, keys: np.ndarray) -> np.ndarray:
+        """Read values without counting retrievals or touching the pool."""
+        keys = self._check_keys(keys)
+        with self._lock:
+            return self._mm[keys].astype(np.float64, copy=True)
+
+    def add(self, keys: np.ndarray, deltas: np.ndarray) -> None:
+        raise TypeError(
+            "PagedCoefficientStore is a read-only serving tier; "
+            "apply updates to the in-memory store and re-serialize"
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates (precomputed in the file header)
+    # ------------------------------------------------------------------
+
+    def total_l1(self) -> float:
+        """``K = sum |value|`` (Theorem 1's constant), from the header."""
+        return float(self._total_l1)
+
+    def total_l2_squared(self) -> float:
+        """``sum value**2`` (Cauchy-Schwarz bounds), from the header."""
+        return float(self._total_l2_squared)
+
+    def nonzero_count(self) -> int:
+        """Number of nonzero stored coefficients, from the header."""
+        return int(self._nonzero_count)
+
+    def as_dense(self) -> np.ndarray:
+        """Materialize the full value vector (tests and inverses only)."""
+        with self._lock:
+            return np.asarray(
+                self._mm[: self.key_space_size], dtype=np.float64
+            ).copy()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero the retrieval and buffer-pool counters."""
+        with self._lock:
+            self.stats.reset()
+            self.cache.reset()
+
+    def clear_buffer(self) -> None:
+        """Drop every buffered page (counters are kept)."""
+        with self._lock:
+            self._pool.clear()
+
+    def close(self) -> None:
+        """Release the memmap.  Reads after close are invalid."""
+        with self._lock:
+            self._pool.clear()
+            mm = self._mm
+            self._mm = None
+            if mm is not None and hasattr(mm, "_mmap"):
+                mm._mmap.close()
+
+    def __enter__(self) -> "PagedCoefficientStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def buffered_pages(self) -> int:
+        with self._lock:
+            return len(self._pool)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_keys(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        if keys.size and (keys.min() < 0 or keys.max() >= self.key_space_size):
+            raise KeyError("key outside the store's key space")
+        return keys
+
+    def _gather(self, keys: np.ndarray) -> np.ndarray:
+        out = np.empty(keys.size, dtype=np.float64)
+        offsets = keys % self.page_size
+        for i, page in enumerate((keys // self.page_size).tolist()):
+            out[i] = self._page(page)[offsets[i]]
+        return out
+
+    def _page(self, page: int) -> np.ndarray:
+        pool = self._pool
+        cached = pool.get(page)
+        if cached is not None:
+            pool.move_to_end(page)
+            self.cache.hits += 1
+            return cached
+        self.cache.misses += 1
+        start = page * self.page_size
+        values = np.asarray(
+            self._mm[start : start + self.page_size], dtype=np.float64
+        ).copy()
+        if self.buffer_pages > 0:
+            pool[page] = values
+            if len(pool) > self.buffer_pages:
+                pool.popitem(last=False)
+                self.cache.evictions += 1
+        return values

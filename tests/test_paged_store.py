@@ -1,0 +1,180 @@
+"""Unit tests for the paged on-disk coefficient store."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBiggestB
+from repro.queries.workload import partition_count_batch
+from repro.storage.counter import CountingStore
+from repro.storage.paged import PagedCoefficientStore, write_paged_file
+from repro.storage.wavelet_store import WaveletStorage
+
+
+@pytest.fixture
+def values(rng):
+    vals = rng.normal(size=1000)
+    vals[rng.random(1000) < 0.3] = 0.0
+    return vals
+
+
+@pytest.fixture
+def paged(values, tmp_path):
+    store = PagedCoefficientStore.from_dense(
+        values, tmp_path / "coeff.pages", page_size=64, buffer_pages=4
+    )
+    yield store
+    store.close()
+
+
+class TestRoundTrip:
+    def test_matches_in_memory_store(self, values, paged):
+        memory = CountingStore(values.size, values=values)
+        keys = np.arange(values.size)
+        np.testing.assert_array_equal(paged.fetch(keys), memory.fetch(keys))
+
+    def test_partial_page_is_padded_not_truncated(self, tmp_path, rng):
+        vals = rng.normal(size=100)  # 100 keys, 64-value pages -> 2 pages
+        store = PagedCoefficientStore.from_dense(
+            vals, tmp_path / "odd.pages", page_size=64
+        )
+        assert store.num_pages == 2
+        np.testing.assert_array_equal(store.as_dense(), vals)
+        store.close()
+
+    def test_aggregates_from_header(self, values, paged):
+        memory = CountingStore(values.size, values=values)
+        assert paged.total_l1() == pytest.approx(memory.total_l1())
+        assert paged.total_l2_squared() == pytest.approx(memory.total_l2_squared())
+        assert paged.nonzero_count() == memory.nonzero_count()
+
+    def test_from_store(self, values, tmp_path):
+        memory = CountingStore(values.size, values=values)
+        paged = PagedCoefficientStore.from_store(memory, tmp_path / "s.pages")
+        np.testing.assert_array_equal(paged.as_dense(), memory.as_dense())
+        paged.close()
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a paged file at all")
+        with pytest.raises(ValueError, match="not a paged coefficient file"):
+            PagedCoefficientStore(path)
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_paged_file(tmp_path / "e.pages", np.array([]))
+
+    def test_read_only(self, paged):
+        with pytest.raises(TypeError, match="read-only"):
+            paged.add(np.array([0]), np.array([1.0]))
+
+
+class TestCounting:
+    def test_fetch_counts_peek_does_not(self, paged):
+        paged.fetch(np.array([1, 2, 3]))
+        paged.peek(np.array([4, 5]))
+        assert paged.stats.retrievals == 3
+        assert paged.stats.unique_keys == 3
+
+    def test_key_range_checked(self, paged):
+        with pytest.raises(KeyError):
+            paged.fetch(np.array([paged.key_space_size]))
+        with pytest.raises(KeyError):
+            paged.peek(np.array([-1]))
+
+
+class TestLruPool:
+    def test_eviction_counts(self, values, tmp_path):
+        # 1000 values / page_size 64 -> 16 pages; capacity 4.
+        store = PagedCoefficientStore.from_dense(
+            values, tmp_path / "l.pages", page_size=64, buffer_pages=4
+        )
+        # Touch every page once: 16 misses, 12 evictions (first 4 fill).
+        store.fetch(np.arange(0, 1000, 64))
+        assert store.cache.misses == 16
+        assert store.cache.hits == 0
+        assert store.cache.evictions == 12
+        assert store.buffered_pages == 4
+        # The 4 most recent pages (12..15) are resident: re-reads are hits.
+        store.fetch(np.arange(12 * 64, 1000, 64))
+        assert store.cache.hits == 4
+        assert store.cache.hit_ratio == pytest.approx(4 / 20)
+        store.close()
+
+    def test_lru_order_not_fifo(self, values, tmp_path):
+        store = PagedCoefficientStore.from_dense(
+            values, tmp_path / "o.pages", page_size=64, buffer_pages=2
+        )
+        store.fetch(np.array([0]))     # page 0      pool: [0]
+        store.fetch(np.array([64]))    # page 1      pool: [0, 1]
+        store.fetch(np.array([1]))     # page 0 hit  pool: [1, 0]
+        store.fetch(np.array([128]))   # page 2      pool: [0, 2] (evicts 1)
+        store.fetch(np.array([2]))     # page 0 must still be resident
+        assert store.cache.hits == 2
+        assert store.cache.evictions == 1
+        store.close()
+
+    def test_zero_capacity_disables_buffering(self, values, tmp_path):
+        store = PagedCoefficientStore.from_dense(
+            values, tmp_path / "z.pages", page_size=64, buffer_pages=0
+        )
+        store.fetch(np.array([0, 1, 2]))
+        assert store.cache.hits == 0
+        assert store.cache.misses == 3
+        assert store.buffered_pages == 0
+        store.close()
+
+    def test_reset_and_clear(self, paged):
+        paged.fetch(np.arange(10))
+        paged.reset_stats()
+        assert paged.stats.retrievals == 0
+        assert paged.cache.requests == 0
+        paged.clear_buffer()
+        assert paged.buffered_pages == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_fetches_are_consistent(self, values, tmp_path):
+        store = PagedCoefficientStore.from_dense(
+            values, tmp_path / "t.pages", page_size=32, buffer_pages=3
+        )
+        errors: list[Exception] = []
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(50):
+                    keys = rng.integers(0, values.size, size=20)
+                    got = store.fetch(keys)
+                    if not np.array_equal(got, values[keys]):
+                        raise AssertionError("corrupted read")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.stats.retrievals == 8 * 50 * 20
+        assert store.buffered_pages <= 3
+        store.close()
+
+
+class TestAsLinearStorageBackend:
+    def test_wavelet_strategy_on_paged_store(self, data_2d, tmp_path):
+        storage = WaveletStorage.build(data_2d, wavelet="db2")
+        paged = storage.paged(tmp_path / "w.pages", page_size=32, buffer_pages=8)
+        batch = partition_count_batch(
+            (16, 16), (2, 2), rng=np.random.default_rng(5)
+        )
+        memory_answers = BatchBiggestB(storage, batch).run()
+        paged_answers = BatchBiggestB(paged, batch).run()
+        np.testing.assert_array_equal(paged_answers, memory_answers)
+        assert paged.store.stats.retrievals == storage.store.stats.retrievals
+        assert paged.total_l1() == pytest.approx(storage.total_l1())
+        paged.store.close()

@@ -1,0 +1,168 @@
+"""Unit tests for the concurrent progressive query service."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchBiggestB
+from repro.core.penalties import CursoredSsePenalty
+from repro.queries.workload import partition_count_batch
+from repro.service.server import ProgressiveQueryService
+from repro.storage.wavelet_store import WaveletStorage
+
+
+@pytest.fixture
+def storage(data_2d):
+    return WaveletStorage.build(data_2d, wavelet="db2")
+
+
+@pytest.fixture
+def batches():
+    return [
+        partition_count_batch((16, 16), (4, 2), rng=np.random.default_rng(21)),
+        partition_count_batch((16, 16), (2, 4), rng=np.random.default_rng(22)),
+    ]
+
+
+class TestSharing:
+    def test_shared_keys_retrieved_exactly_once(self, storage, batches):
+        service = ProgressiveQueryService(storage)
+        storage.reset_stats()
+        for batch in batches:
+            service.submit(batch)
+        first = service.run_to_completion("s1")
+        second = service.run_to_completion("s2")
+        plans = [BatchBiggestB(storage, b).plan for b in batches]
+        union = set(plans[0].keys.tolist()) | set(plans[1].keys.tolist())
+        overlap = set(plans[0].keys.tolist()) & set(plans[1].keys.tolist())
+        assert overlap, "fixture batches must overlap for this test to bite"
+        metrics = service.metrics()
+        # Each distinct key once — the overlap is fetched once, not twice.
+        assert metrics.retrievals == len(union)
+        assert metrics.deliveries == plans[0].num_keys + plans[1].num_keys
+        assert metrics.shared_deliveries == len(overlap)
+        assert first.shape == (batches[0].size,)
+        assert second.shape == (batches[1].size,)
+
+    def test_results_bit_equal_to_independent_runs(self, storage, batches):
+        service = ProgressiveQueryService(storage)
+        ids = [service.submit(batch) for batch in batches]
+        answers = [service.run_to_completion(session_id) for session_id in ids]
+        for batch, got in zip(batches, answers):
+            reference = BatchBiggestB(storage, batch).run()
+            assert np.array_equal(got, reference)
+
+    def test_late_submission_reuses_cached_coefficients(self, storage, batches):
+        service = ProgressiveQueryService(storage)
+        storage.reset_stats()
+        first = service.submit(batches[0])
+        service.run_to_completion(first)
+        after_first = service.metrics().retrievals
+        # The first session stays live, so its coefficients are cached:
+        # the overlapping keys of a later batch cost no new retrievals.
+        second = service.submit(batches[1])
+        service.run_to_completion(second)
+        metrics = service.metrics()
+        plans = [BatchBiggestB(storage, b).plan for b in batches]
+        union = set(plans[0].keys.tolist()) | set(plans[1].keys.tolist())
+        overlap = set(plans[0].keys.tolist()) & set(plans[1].keys.tolist())
+        assert after_first == plans[0].num_keys
+        assert metrics.retrievals == len(union)
+        assert metrics.cache_deliveries == len(overlap)
+
+    def test_poll_progresses_and_bounds_decrease(self, storage, batches):
+        service = ProgressiveQueryService(storage)
+        session_id = service.submit(batches[0])
+        start = service.poll(session_id)
+        assert start.steps_taken == 0 and not start.is_exact
+        gained = service.advance(session_id, 10)
+        assert gained == 10
+        mid = service.poll(session_id)
+        assert mid.steps_taken == 10
+        assert mid.worst_case_bound <= start.worst_case_bound + 1e-9
+        service.run_to_completion(session_id)
+        end = service.poll(session_id)
+        assert end.is_exact and end.remaining == 0
+        assert end.worst_case_bound == 0.0
+
+
+class TestLifecycle:
+    def test_cancel_releases_session(self, storage, batches):
+        service = ProgressiveQueryService(storage)
+        session_id = service.submit(batches[0])
+        service.cancel(session_id)
+        with pytest.raises(KeyError, match="unknown or cancelled"):
+            service.poll(session_id)
+        assert service.metrics().live_sessions == 0
+        # The scheduler keeps serving the surviving sessions.
+        other = service.submit(batches[1])
+        answers = service.run_to_completion(other)
+        assert np.array_equal(answers, BatchBiggestB(storage, batches[1]).run())
+
+    def test_set_penalty_reprioritizes(self, storage, batches):
+        boost = CursoredSsePenalty(batches[0].size, high_priority=[0], high_weight=1e6)
+        service = ProgressiveQueryService(storage)
+        session_id = service.submit(batches[0])
+        service.advance(session_id, 5)
+        service.set_penalty(session_id, boost)
+        answers = service.run_to_completion(session_id)
+        assert np.array_equal(answers, BatchBiggestB(storage, batches[0]).run())
+
+    def test_unknown_session_rejected(self, storage):
+        service = ProgressiveQueryService(storage)
+        with pytest.raises(KeyError):
+            service.advance("s99", 1)
+
+    def test_metrics_per_session_steps(self, storage, batches):
+        service = ProgressiveQueryService(storage)
+        a = service.submit(batches[0])
+        service.advance(a, 3)
+        steps = service.metrics().per_session_steps
+        # Global scheduling may deliver extra coefficients beyond the 3
+        # the client asked for -- never fewer.
+        assert steps[a] >= 3
+
+
+class TestConcurrentClients:
+    def test_threaded_clients_converge(self, storage):
+        batches = [
+            partition_count_batch((16, 16), (2, 2), rng=np.random.default_rng(s))
+            for s in range(30, 34)
+        ]
+        exact = [BatchBiggestB(storage, batch).run() for batch in batches]
+        service = ProgressiveQueryService(storage)
+        results: dict[int, np.ndarray] = {}
+        errors: list[Exception] = []
+
+        def client(idx: int) -> None:
+            try:
+                session_id = service.submit(batches[idx])
+                while not service.poll(session_id).is_exact:
+                    service.advance(session_id, 7)
+                results[idx] = service.poll(session_id).estimates
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for idx, reference in enumerate(exact):
+            assert np.array_equal(results[idx], reference)
+
+    def test_paged_backend_serves_service(self, storage, batches, tmp_path):
+        paged = storage.paged(tmp_path / "svc.pages", page_size=64, buffer_pages=16)
+        service = ProgressiveQueryService(paged)
+        ids = [service.submit(batch) for batch in batches]
+        answers = [service.run_to_completion(session_id) for session_id in ids]
+        for batch, got in zip(batches, answers):
+            assert np.array_equal(got, BatchBiggestB(storage, batch).run())
+        metrics = service.metrics()
+        assert metrics.page_cache is not None
+        assert metrics.page_cache["hits"] + metrics.page_cache["misses"] > 0
+        paged.store.close()

@@ -69,6 +69,76 @@ class TestAdvance:
         assert storage.stats.retrievals == session.plan.num_keys
 
 
+class TestDeliver:
+    def test_deliver_matches_advance(self, setup):
+        storage, batch, exact = setup
+        driver = ProgressiveSession(storage, batch)
+        receiver = ProgressiveSession(storage, batch)
+        # Replay the driver's own retrievals into the receiver externally.
+        while not driver.is_exact:
+            keys_before = set(driver.retrieved_keys().tolist())
+            driver.advance(1)
+            (key,) = set(driver.retrieved_keys().tolist()) - keys_before
+            coefficient = float(storage.store.peek(np.array([key]))[0])
+            assert receiver.deliver(key, coefficient)
+        np.testing.assert_array_equal(receiver.estimates, driver.estimates)
+        assert receiver.is_exact
+
+    def test_deliver_ignores_foreign_and_duplicate_keys(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        in_list = int(session.plan.keys[0])
+        all_keys = set(range(storage.store.key_space_size))
+        foreign = min(all_keys - set(session.plan.keys.tolist()))
+        assert session.deliver(in_list, 1.5)
+        assert not session.deliver(in_list, 1.5)  # already held
+        assert not session.deliver(foreign, 1.5)  # not in the master list
+        assert session.steps_taken == 1
+
+    def test_bound_prunes_externally_delivered_heap_entries(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        reference = ProgressiveSession(storage, batch)
+        # Deliver the two most important keys externally; the bound must
+        # reflect the next *pending* importance, as if advance() had run.
+        reference.advance(2)
+        for key in reference.retrieved_keys().tolist():
+            session.deliver(int(key), 0.0)
+        assert session.worst_case_bound() == pytest.approx(
+            reference.worst_case_bound()
+        )
+
+    def test_exact_answers_bit_equal_to_batch_run(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        with pytest.raises(ValueError):
+            session.exact_answers()
+        session.run_to_completion()
+        reference = BatchBiggestB(storage, batch).run()
+        assert np.array_equal(session.exact_answers(), reference)
+
+
+class TestWorstCaseConstantInvalidation:
+    def test_streaming_insert_refreshes_k_const(self, rng):
+        batch = partition_count_batch((16, 16), (2, 2), rng=rng)
+        storage = WaveletStorage.empty((16, 16), wavelet="haar")
+        storage.insert((3, 4), weight=2.0)
+        session = ProgressiveSession(storage, batch)
+        session.worst_case_bound()  # caches K for the current store
+        storage.insert((9, 12), weight=5.0)
+        fresh = ProgressiveSession(storage, batch)
+        assert session.worst_case_bound() == pytest.approx(
+            fresh.worst_case_bound()
+        )
+
+    def test_bound_still_cached_when_store_unchanged(self, setup):
+        storage, batch, _ = setup
+        session = ProgressiveSession(storage, batch)
+        first = session.worst_case_bound()
+        assert session.worst_case_bound() == first
+        assert session._k_const is not None
+
+
 class TestPenaltySwitch:
     def test_switch_keeps_progress_and_stays_exact(self, setup):
         storage, batch, exact = setup
@@ -79,6 +149,31 @@ class TestPenaltySwitch:
         np.testing.assert_allclose(session.estimates, before)
         answers = session.run_to_completion()
         np.testing.assert_allclose(answers, exact, atol=1e-9)
+
+    def test_switch_continuation_matches_fresh_batch_biggest_b(self, setup):
+        """After set_penalty, the remaining retrieval order is exactly the
+        fresh Batch-Biggest-B order under the new penalty, restricted to
+        the not-yet-retrieved keys (the session docstring's contract)."""
+        storage, batch, _ = setup
+        new_penalty = CursoredSsePenalty(
+            batch.size, high_priority=[2, 5], high_weight=50.0
+        )
+        session = ProgressiveSession(storage, batch)
+        session.advance(8)
+        already = set(session.retrieved_keys().tolist())
+        session.set_penalty(new_penalty)
+
+        reference = BatchBiggestB(storage, batch, penalty=new_penalty)
+        expected_order = [
+            int(k)
+            for k in reference.plan.keys[reference.order]
+            if int(k) not in already
+        ]
+        for t in (1, 5, len(expected_order)):
+            while session.steps_taken < 8 + t:
+                session.advance(1)
+            got = set(session.retrieved_keys().tolist()) - already
+            assert got == set(expected_order[:t]), f"diverged at step {t}"
 
     def test_switch_changes_future_order(self, setup):
         storage, batch, _ = setup
