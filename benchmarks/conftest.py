@@ -28,6 +28,7 @@ from repro.core.penalties import SsePenalty
 from repro.data.synthetic import temperature_dataset
 from repro.queries.workload import partition_sum_batch
 from repro.storage.wavelet_store import WaveletStorage
+from repro.wavelets.query_transform import clear_cache
 
 #: Paper-scale-in-miniature experiment parameters.
 SHAPE = (16, 32, 8, 16, 16)
@@ -76,6 +77,15 @@ def section6() -> Section6Setup:
         exact=exact,
         evaluator=evaluator,
     )
+
+
+@pytest.fixture(autouse=True)
+def fresh_rewrite_caches():
+    """Drop every rewrite-path memo (dense oracle and sparse cascade) before
+    each trial, so no bench inherits another's warm factor cache and timings
+    stay comparable across runs."""
+    clear_cache()
+    yield
 
 
 @pytest.fixture

@@ -72,6 +72,7 @@ class BatchBiggestB:
         penalty: Penalty | None = None,
         rewrites: list | None = None,
         plan: QueryPlan | None = None,
+        workers: int | None = None,
     ) -> None:
         self.storage = storage
         self.batch = batch
@@ -80,8 +81,12 @@ class BatchBiggestB:
         # list.  Callers evaluating one batch under several penalties can
         # pass the rewrites/plan of a previous evaluator to skip this work
         # (only the importance ordering depends on the penalty).
+        # ``workers > 1`` computes the batch's distinct per-dimension
+        # rewrite factors on a process pool (see LinearStorage.rewrite_batch).
         self.rewrites = (
-            rewrites if rewrites is not None else [storage.rewrite(q) for q in batch]
+            rewrites
+            if rewrites is not None
+            else storage.rewrite_batch(batch, workers=workers)
         )
         if len(self.rewrites) != batch.size:
             raise ValueError("rewrites must match the batch size")
@@ -126,12 +131,24 @@ class BatchBiggestB:
     # Progressive evaluation
     # ------------------------------------------------------------------
 
-    def steps(self) -> Iterator[ProgressiveStep]:
+    def steps(self, readahead: int = 16) -> Iterator[ProgressiveStep]:
         """The faithful Figure-1 loop: heap, retrieve, increment, repeat.
 
         Yields a :class:`ProgressiveStep` per retrieval; after the last step
         the estimates are exact.
+
+        ``readahead`` batches the store reads: the next (up to)
+        ``readahead`` heap maxima are fetched with one ``fetch`` call, then
+        applied and yielded one at a time.  Semantics are unchanged — the
+        step order is identical and retrieval accounting still counts every
+        key — but a paged/disk store sees chunked, importance-ordered reads
+        instead of ``master_list_size`` single-key probes.  (A consumer that
+        abandons the iterator mid-chunk has paid for at most
+        ``readahead - 1`` coefficients it never saw.)  ``readahead=1``
+        reproduces the strict fetch-per-step loop.
         """
+        if readahead < 1:
+            raise ValueError(f"readahead must be positive, got {readahead}")
         # Step 4: build a max-heap keyed by importance (ties: smaller key
         # first, matching the vectorized order).
         heap = [
@@ -142,22 +159,26 @@ class BatchBiggestB:
         entry_order, offsets = self.plan.csr_by_key()
         estimates = np.zeros(self.plan.batch_size)
         step = 0
-        # Step 5: extract the maximum, retrieve, advance each query.
+        # Step 5: extract the maxima, retrieve chunked, advance each query.
         while heap:
-            neg_iota, key, pos = heapq.heappop(heap)
-            coefficient = float(self.storage.store.fetch(np.array([key]))[0])
-            segment = entry_order[offsets[pos] : offsets[pos + 1]]
-            qids = self.plan.entry_qid[segment]
-            vals = self.plan.entry_val[segment]
-            np.add.at(estimates, qids, vals * coefficient)
-            step += 1
-            yield ProgressiveStep(
-                step=step,
-                key=key,
-                importance=-neg_iota,
-                coefficient=coefficient,
-                estimates=estimates.copy(),
+            chunk = [heapq.heappop(heap) for _ in range(min(readahead, len(heap)))]
+            coefficients = self.storage.store.fetch(
+                np.array([key for _, key, _ in chunk], dtype=np.int64)
             )
+            for (neg_iota, key, pos), coefficient in zip(chunk, coefficients):
+                coefficient = float(coefficient)
+                segment = entry_order[offsets[pos] : offsets[pos + 1]]
+                qids = self.plan.entry_qid[segment]
+                vals = self.plan.entry_val[segment]
+                np.add.at(estimates, qids, vals * coefficient)
+                step += 1
+                yield ProgressiveStep(
+                    step=step,
+                    key=key,
+                    importance=-neg_iota,
+                    coefficient=coefficient,
+                    estimates=estimates.copy(),
+                )
 
     def run_progressive(
         self, checkpoints: Sequence[int]
@@ -181,7 +202,17 @@ class BatchBiggestB:
         checkpoints = np.unique(
             np.clip(np.asarray(checkpoints, dtype=np.int64), 0, self.plan.num_keys)
         )
-        if not hasattr(self, "_progression_cache"):
+        # The materialized progression caches *data* coefficients, so it is
+        # only valid for the store contents it was fetched from: a streaming
+        # insert between calls must invalidate it, exactly like the
+        # store-version-tied Theorem-1 constant cache in ProgressiveSession.
+        version = getattr(self.storage.store, "version", None)
+        cached = getattr(self, "_progression_cache", None)
+        if cached is not None and cached[0] == version:
+            # Reuse the materialized progression; no retrievals re-counted
+            # (the coefficients are already held).
+            sorted_rank, contrib, qid_sorted = cached[1]
+        else:
             ordered_keys = self.plan.keys[self.order]
             fetched = self.storage.store.fetch(ordered_keys)
             coeff_by_pos = np.empty(self.plan.num_keys)
@@ -195,11 +226,7 @@ class BatchBiggestB:
                 self.plan.entry_val * coeff_by_pos[self.plan.entry_key_pos]
             )[by_rank]
             qid_sorted = self.plan.entry_qid[by_rank]
-            self._progression_cache = (sorted_rank, contrib, qid_sorted)
-        else:
-            # Subsequent calls reuse the materialized progression; they do
-            # not re-count retrievals (the coefficients are already held).
-            sorted_rank, contrib, qid_sorted = self._progression_cache
+            self._progression_cache = (version, (sorted_rank, contrib, qid_sorted))
         estimates = np.zeros(self.plan.batch_size)
         out = np.zeros((checkpoints.size, self.plan.batch_size))
         prev_edge = 0

@@ -64,6 +64,18 @@ class QueryPlan:
             per_query_nnz=nnz,
         )
 
+    @classmethod
+    def from_batch(cls, storage, batch, workers: int | None = None) -> "QueryPlan":
+        """Rewrite ``batch`` through ``storage`` and merge the result.
+
+        The one-stop front door for steps 1-3 of Figure 1: delegates the
+        rewrites to :meth:`~repro.storage.base.LinearStorage.rewrite_batch`
+        (which dedups shared per-dimension factors and can compute the
+        distinct ones on a ``workers``-wide process pool) and builds the
+        master list from them.
+        """
+        return cls.from_rewrites(storage.rewrite_batch(batch, workers=workers))
+
     # ------------------------------------------------------------------
     # Sizes
     # ------------------------------------------------------------------

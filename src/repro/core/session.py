@@ -42,11 +42,14 @@ class ProgressiveSession:
         storage: LinearStorage,
         batch: QueryBatch,
         penalty: Penalty | None = None,
+        workers: int | None = None,
     ) -> None:
         self.storage = storage
         self.batch = batch
         self.penalty = penalty if penalty is not None else SsePenalty()
-        self.rewrites = [storage.rewrite(q) for q in batch]
+        # ``workers > 1`` parallelizes the rewrite front end (the distinct
+        # per-dimension factors) without changing the resulting plan.
+        self.rewrites = storage.rewrite_batch(batch, workers=workers)
         self.plan = QueryPlan.from_rewrites(self.rewrites)
         self.estimates = np.zeros(batch.size)
         self._retrieved = np.zeros(self.plan.num_keys, dtype=bool)

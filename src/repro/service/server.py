@@ -96,15 +96,25 @@ class ProgressiveQueryService:
     # Client surface
     # ------------------------------------------------------------------
 
-    def submit(self, batch: QueryBatch, penalty: Penalty | None = None) -> str:
+    def submit(
+        self,
+        batch: QueryBatch,
+        penalty: Penalty | None = None,
+        workers: int | None = None,
+    ) -> str:
         """Open a progressive session for ``batch``; returns its id.
 
         The session's master list immediately joins the shared schedule:
         keys another live session already fetched are served from the
-        coefficient cache as the schedule reaches them.
+        coefficient cache as the schedule reaches them.  ``workers > 1``
+        computes the batch's distinct rewrite factors on a process pool
+        before assembly — worthwhile for cold caches on large domains, since
+        submit latency is dominated by the rewrite front end.
         """
         with self._lock:
-            session = ProgressiveSession(self.storage, batch, penalty=penalty)
+            session = ProgressiveSession(
+                self.storage, batch, penalty=penalty, workers=workers
+            )
             session_id = f"s{next(self._ids)}"
             sid = self.scheduler.register(session)
             self._sessions[session_id] = (session, sid)

@@ -82,6 +82,60 @@ class LinearStorage(ABC):
         ``sum(values * store[indices])``.
         """
 
+    def rewrite_batch(self, queries, workers: int | None = None) -> list:
+        """Rewrite a whole batch, optionally on a process pool.
+
+        With ``workers`` in ``(None, 0, 1)`` this is exactly
+        ``[self.rewrite(q) for q in queries]``.  With ``workers > 1`` the
+        strategy first asks :meth:`_rewrite_factor_specs` for the batch's
+        per-dimension factor tasks, dedups them (batch queries share most
+        factors — that sharing is where the paper's I/O savings come from,
+        and it applies to rewrite CPU just the same), computes the distinct
+        ones on a ``concurrent.futures`` process pool, and seeds the results
+        into the shared factor memo — after which the per-query assembly is
+        pure memo hits.  Strategies without separable factors (the hook
+        returns ``None``) simply rewrite sequentially.
+
+        The pool is an optimization, never a semantic switch: if worker
+        processes cannot be spawned (restricted sandboxes), the batch falls
+        back to the sequential path and produces identical rewrites.
+        """
+        queries = list(queries)
+        if workers is not None and workers > 1 and len(queries) > 0:
+            self._precompute_factors(queries, workers)
+        return [self.rewrite(q) for q in queries]
+
+    def _rewrite_factor_specs(self, queries) -> "list[tuple] | None":
+        """Hashable per-dimension factor tasks for ``queries``, or None.
+
+        Strategies whose rewrites decompose into shared, independently
+        computable factors (see
+        :func:`repro.wavelets.query_transform.factor_spec`) override this to
+        enable the parallel front end of :meth:`rewrite_batch`.
+        """
+        return None
+
+    def _precompute_factors(self, queries, workers: int) -> None:
+        from repro.wavelets import query_transform as _qt
+
+        specs = self._rewrite_factor_specs(queries)
+        if not specs:
+            return
+        distinct = list(dict.fromkeys(specs))
+        if len(distinct) < 2:
+            return
+        import concurrent.futures
+
+        try:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk = max(1, len(distinct) // (workers * 4))
+                results = list(pool.map(_qt.compute_factor, distinct, chunksize=chunk))
+        except (OSError, PermissionError, RuntimeError):
+            # No subprocesses available here; the sequential path below
+            # computes (and memoizes) every factor with identical results.
+            return
+        _qt.seed_factors(results)
+
     # ------------------------------------------------------------------
     # Conveniences shared by all strategies.
     # ------------------------------------------------------------------

@@ -17,6 +17,10 @@ Everything here is implemented from scratch on top of numpy:
 ``query_transform``
     The wavelet transform of polynomial range-sum query vectors — sparse by
     construction, independent of the data (Sections 2-3 of the paper).
+``cascade``
+    The sparse cascade engine behind ``query_transform``: per-dimension
+    factors in ``O(filter_length**2 * log N)`` via boundary propagation and
+    a closed-form interior moment recurrence (no dense length-``N`` pass).
 ``point``
     The sparse wavelet transform of a point mass, used for streaming
     single-tuple updates of a wavelet-transformed data cube.
@@ -32,9 +36,12 @@ from repro.wavelets.transform import (
     waverec,
     waverec_nd,
 )
+from repro.wavelets.cascade import cascade_coefficients_1d
 from repro.wavelets.query_transform import (
+    get_default_method,
     haar_indicator_coefficients,
     query_tensor,
+    set_default_method,
     vector_coefficients_1d,
 )
 from repro.wavelets.point import point_tensor, point_coefficients_1d
@@ -57,8 +64,11 @@ __all__ = [
     "wavedec_nd",
     "waverec",
     "waverec_nd",
+    "cascade_coefficients_1d",
+    "get_default_method",
     "haar_indicator_coefficients",
     "query_tensor",
+    "set_default_method",
     "vector_coefficients_1d",
     "point_tensor",
     "point_coefficients_1d",

@@ -86,6 +86,23 @@ class WaveletFilter:
         """Number of filter taps."""
         return int(self.lowpass.size)
 
+    def discrete_moments(self, max_degree: int) -> tuple[np.ndarray, np.ndarray]:
+        """Discrete filter moments ``sum_j f[j] * j**s`` for ``s <= max_degree``.
+
+        Returns ``(lowpass_moments, highpass_moments)``, each of length
+        ``max_degree + 1``.  These drive the sparse-cascade moment
+        recurrence (:mod:`repro.wavelets.cascade`): one decomposition level
+        maps an interior polynomial ``p`` to ``q(i) = sum_j h[j] p(2i + j)``,
+        whose coefficients are linear combinations of the ``h`` moments; the
+        highpass moments vanish for ``s < vanishing_moments``, which is what
+        empties the interior detail band.
+        """
+        if max_degree < 0:
+            raise ValueError(f"max_degree must be non-negative, got {max_degree}")
+        j = np.arange(self.length, dtype=np.float64)
+        powers = np.vstack([j**s for s in range(max_degree + 1)])
+        return powers @ self.lowpass, powers @ self.highpass
+
     def max_polynomial_degree(self) -> int:
         """Largest polynomial degree this filter annihilates in details.
 

@@ -12,25 +12,69 @@ transforms of ``x**k * chi_[lo, hi](x)``.  Each 1-D factor has only
 with enough vanishing moments for the degree), hence the whole query vector
 has ``O((4*delta + 2)**d * log**d N)`` nonzeros — independent of the data.
 
-This module computes those sparse factors and assembles query tensors.  The
-1-D factors are computed by a dense length-N transform and exact
-sparsification (N is a single dimension's size, so this is cheap and exact),
-with a closed-form ``O(log N)`` Haar path for indicator functions that
-doubles as an independent correctness check.
+This module computes those sparse factors and assembles query tensors.  Two
+interchangeable 1-D factor engines are provided:
+
+``"cascade"`` (the default)
+    The sparse cascade of :mod:`repro.wavelets.cascade`:
+    ``O(filter_length**2 * log N)`` per factor, independent of ``N`` —
+    boundary windows are propagated level by level and the polynomial
+    interior follows a closed-form moment recurrence.
+
+``"dense"`` (the oracle)
+    A dense length-``N`` :func:`~repro.wavelets.transform.wavedec` followed
+    by exact sparsification — ``O(N)`` per factor.  Retained behind the
+    ``method`` flag as the independent cross-check the cascade is verified
+    against, and for experiments that want the naive baseline.
+
+Both engines memoize per-dimension factors (batch queries share many of
+them — that sharing is where the paper's I/O savings come from), in
+lock-guarded tables that the parallel batch-rewrite front end
+(:meth:`repro.storage.base.LinearStorage.rewrite_batch`) can seed with
+worker-process results.  A closed-form ``O(log N)`` Haar path for indicator
+functions doubles as a second independent correctness check.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import threading
 from math import sqrt
 from typing import Sequence
 
 import numpy as np
 
 from repro.util import check_power_of_two, log2_int
+from repro.wavelets import cascade as _cascade_mod
+from repro.wavelets.cascade import cascade_coefficients_1d
 from repro.wavelets.filters import WaveletFilter, get_filter, resolve_filters
 from repro.wavelets.sparse import DEFAULT_RTOL, SparseTensor, SparseVector
 from repro.wavelets.transform import wavedec
+
+#: The factor engines selectable via ``method=``.
+METHODS = ("cascade", "dense")
+
+_default_method = "cascade"
+_default_method_lock = threading.Lock()
+
+
+def set_default_method(method: str) -> str:
+    """Set the module-wide default factor engine; returns the previous one.
+
+    ``"cascade"`` is the production default; ``"dense"`` switches every
+    rewrite back to the ``O(N)`` oracle (benchmark baselines, debugging).
+    """
+    global _default_method
+    if method not in METHODS:
+        raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+    with _default_method_lock:
+        previous = _default_method
+        _default_method = method
+    return previous
+
+
+def get_default_method() -> str:
+    """The factor engine used when ``method`` is not passed explicitly."""
+    return _default_method
 
 
 def _validate_range(n: int, lo: int, hi: int) -> None:
@@ -39,15 +83,34 @@ def _validate_range(n: int, lo: int, hi: int) -> None:
         raise ValueError(f"range [{lo}, {hi}] not inside [0, {n})")
 
 
-@lru_cache(maxsize=65536)
-def _vector_coefficients_cached(
+# ----------------------------------------------------------------------
+# The dense oracle (memoized like the cascade, so both can be seeded)
+# ----------------------------------------------------------------------
+
+_dense_memo: dict[tuple, SparseVector] = {}
+_dense_memo_lock = threading.Lock()
+
+
+def _dense_coefficients(
     filter_name: str, n: int, lo: int, hi: int, degree: int, rtol: float
 ) -> SparseVector:
+    key = (filter_name, int(n), int(lo), int(hi), int(degree), float(rtol))
+    with _dense_memo_lock:
+        hit = _dense_memo.get(key)
+    if hit is not None:
+        return hit
     filt = get_filter(filter_name)
     dense = np.zeros(n, dtype=np.float64)
     xs = np.arange(lo, hi + 1, dtype=np.float64)
     dense[lo : hi + 1] = xs**degree
-    return SparseVector.from_dense(wavedec(dense, filt), rtol=rtol)
+    result = SparseVector.from_dense(wavedec(dense, filt), rtol=rtol)
+    with _dense_memo_lock:
+        return _dense_memo.setdefault(key, result)
+
+
+# ----------------------------------------------------------------------
+# Factor computation: the 1-D front door and its process-pool plumbing
+# ----------------------------------------------------------------------
 
 
 def vector_coefficients_1d(
@@ -57,6 +120,7 @@ def vector_coefficients_1d(
     hi: int,
     degree: int = 0,
     rtol: float = DEFAULT_RTOL,
+    method: str | None = None,
 ) -> SparseVector:
     """Sparse wavelet transform of the 1-D vector ``x**degree * chi_[lo, hi]``.
 
@@ -73,6 +137,10 @@ def vector_coefficients_1d(
         Monomial degree of this dimension's factor.
     rtol:
         Relative sparsification tolerance.
+    method:
+        Factor engine: ``"cascade"`` (sparse, ``O(log n)``, the default) or
+        ``"dense"`` (the ``O(n)`` oracle).  ``None`` uses
+        :func:`get_default_method`.
 
     Returns
     -------
@@ -84,7 +152,72 @@ def vector_coefficients_1d(
     _validate_range(n, lo, hi)
     if degree < 0:
         raise ValueError(f"degree must be non-negative, got {degree}")
-    return _vector_coefficients_cached(filt.name, n, lo, hi, degree, rtol)
+    if method is None:
+        method = _default_method
+    if method == "cascade":
+        return cascade_coefficients_1d(filt, n, lo, hi, degree=degree, rtol=rtol)
+    if method == "dense":
+        return _dense_coefficients(filt.name, n, lo, hi, degree, rtol)
+    raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+
+
+def factor_spec(
+    filt: WaveletFilter | str,
+    n: int,
+    lo: int,
+    hi: int,
+    degree: int = 0,
+    rtol: float = DEFAULT_RTOL,
+    method: str | None = None,
+) -> tuple:
+    """The hashable task descriptor for one 1-D factor.
+
+    ``rewrite_batch`` dedups these across a whole query batch, farms the
+    distinct ones to worker processes via :func:`compute_factor`, and seeds
+    the results back with :func:`seed_factors` — after which the per-query
+    assembly hits the memo for every factor.
+    """
+    filt = get_filter(filt)
+    if method is None:
+        method = _default_method
+    return (method, filt.name, int(n), int(lo), int(hi), int(degree), float(rtol))
+
+
+def compute_factor(spec: tuple) -> tuple[tuple, SparseVector]:
+    """Compute one :func:`factor_spec` task (process-pool worker entry)."""
+    method, name, n, lo, hi, degree, rtol = spec
+    sv = vector_coefficients_1d(name, n, lo, hi, degree=degree, rtol=rtol, method=method)
+    return spec, sv
+
+
+def seed_factors(entries: Sequence[tuple[tuple, SparseVector]]) -> None:
+    """Merge ``(spec, factor)`` results into the matching engine memo."""
+    cascade_entries = []
+    with _dense_memo_lock:
+        for spec, sv in entries:
+            method, name, n, lo, hi, degree, rtol = spec
+            key = (name, n, lo, hi, degree, rtol)
+            if method == "dense":
+                _dense_memo.setdefault(key, sv)
+            else:
+                cascade_entries.append((key, sv))
+    _cascade_mod.seed_cache(cascade_entries)
+
+
+def clear_cache() -> None:
+    """Drop every rewrite-path memo (dense oracle *and* sparse cascade).
+
+    Benchmarks call this between trials so each timing pays the full
+    rewrite cost instead of a memo hit.
+    """
+    with _dense_memo_lock:
+        _dense_memo.clear()
+    _cascade_mod.clear_cache()
+
+
+# ----------------------------------------------------------------------
+# Closed-form Haar indicator path (independent cross-check)
+# ----------------------------------------------------------------------
 
 
 def haar_indicator_coefficients(n: int, lo: int, hi: int) -> SparseVector:
@@ -95,7 +228,7 @@ def haar_indicator_coefficients(n: int, lo: int, hi: int) -> SparseVector:
     half|)`` and is nonzero only for the (at most two) blocks containing a
     range boundary; the single full-depth scaling coefficient is
     ``(hi - lo + 1) / sqrt(n)``.  Used as a fast path and as an independent
-    cross-check of the dense transform.
+    cross-check of the dense and cascade engines.
     """
     _validate_range(n, lo, hi)
     levels = log2_int(n)
@@ -118,6 +251,11 @@ def haar_indicator_coefficients(n: int, lo: int, hi: int) -> SparseVector:
     return SparseVector.from_items(n, items)
 
 
+# ----------------------------------------------------------------------
+# Tensor assembly
+# ----------------------------------------------------------------------
+
+
 def monomial_tensor(
     filt: "WaveletFilter | str | Sequence[WaveletFilter | str]",
     shape: Sequence[int],
@@ -125,6 +263,7 @@ def monomial_tensor(
     exponents: Sequence[int],
     coefficient: float = 1.0,
     rtol: float = DEFAULT_RTOL,
+    method: str | None = None,
 ) -> SparseTensor:
     """Sparse transform of ``coefficient * prod_i x_i**e_i * chi_R``.
 
@@ -138,7 +277,7 @@ def monomial_tensor(
     if not (len(shape) == len(bounds) == len(exponents)):
         raise ValueError("shape, bounds and exponents must have equal lengths")
     factors = [
-        vector_coefficients_1d(f, n, lo, hi, degree=e, rtol=rtol)
+        vector_coefficients_1d(f, n, lo, hi, degree=e, rtol=rtol, method=method)
         for f, n, (lo, hi), e in zip(filters, shape, bounds, exponents)
     ]
     if coefficient != 1.0:
@@ -152,6 +291,7 @@ def query_tensor(
     bounds: Sequence[tuple[int, int]],
     monomials: Sequence[tuple[tuple[int, ...], float]],
     rtol: float = DEFAULT_RTOL,
+    method: str | None = None,
 ) -> SparseTensor:
     """Sparse transform of a full polynomial range-sum query vector.
 
@@ -162,12 +302,7 @@ def query_tensor(
     if not monomials:
         raise ValueError("polynomial must have at least one monomial")
     tensors = [
-        monomial_tensor(filt, shape, bounds, exps, coeff, rtol=rtol)
+        monomial_tensor(filt, shape, bounds, exps, coeff, rtol=rtol, method=method)
         for exps, coeff in monomials
     ]
     return SparseTensor.sum_of(tensors, rtol=rtol)
-
-
-def clear_cache() -> None:
-    """Drop the memoized per-dimension factors (used by benchmarks)."""
-    _vector_coefficients_cached.cache_clear()

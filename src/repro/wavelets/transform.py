@@ -29,10 +29,24 @@ the trailing axis, so the multi-dimensional versions are loop-free.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.util import check_power_of_two, log2_int
 from repro.wavelets.filters import WaveletFilter, get_filter, resolve_filters
+
+
+@lru_cache(maxsize=512)
+def _window_indices(n: int, taps: int) -> np.ndarray:
+    """The gather matrix ``(2i + k) mod n`` shared by all same-shape levels.
+
+    A multilevel transform rebuilds this for every level and every axis (and
+    streaming inserts rebuild it per point), so it is memoized read-only.
+    """
+    idx = (2 * np.arange(n // 2)[:, None] + np.arange(taps)[None, :]) % n
+    idx.setflags(write=False)
+    return idx
 
 
 def dwt_level(x: np.ndarray, filt: WaveletFilter | str) -> tuple[np.ndarray, np.ndarray]:
@@ -56,11 +70,8 @@ def dwt_level(x: np.ndarray, filt: WaveletFilter | str) -> tuple[np.ndarray, np.
     check_power_of_two(n, what="signal length")
     if n < 2:
         raise ValueError("cannot decompose a length-1 signal")
-    half = n // 2
-    taps = filt.length
     # Gather x[..., (2i + k) mod n] with shape (..., half, taps).
-    idx = (2 * np.arange(half)[:, None] + np.arange(taps)[None, :]) % n
-    windows = x[..., idx]
+    windows = x[..., _window_indices(n, filt.length)]
     approx = windows @ filt.lowpass
     detail = windows @ filt.highpass
     return approx, detail

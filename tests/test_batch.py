@@ -300,3 +300,79 @@ class TestPenaltySteering:
         assert gm_ratio < 3.0
         assert cursored(snaps_cur[-1] - exact) < 1e-9
         assert cursored(snaps_sse[-1] - exact) < 1e-9
+
+
+class TestReadahead:
+    """steps() chunked fetches: identical semantics, fewer fetch calls."""
+
+    def test_readahead_matches_strict_loop(self, rng, data_2d):
+        batch = make_batch(rng, count=6)
+        store = WaveletStorage.build(data_2d, wavelet="db2")
+        ev = BatchBiggestB(store, batch)
+        strict = list(ev.steps(readahead=1))
+        for chunk in (4, 16, 10_000):
+            chunked = list(ev.steps(readahead=chunk))
+            assert len(chunked) == len(strict)
+            for a, b in zip(strict, chunked):
+                assert a.step == b.step
+                assert a.key == b.key
+                assert a.importance == b.importance
+                assert a.coefficient == b.coefficient
+                np.testing.assert_array_equal(a.estimates, b.estimates)
+
+    def test_readahead_keeps_per_key_accounting(self, rng, data_2d):
+        batch = make_batch(rng, count=6)
+        store = WaveletStorage.build(data_2d, wavelet="haar")
+        ev = BatchBiggestB(store, batch)
+        store.store.stats.reset()
+        n_steps = sum(1 for _ in ev.steps(readahead=8))
+        assert n_steps == ev.master_list_size
+        assert store.store.stats.retrievals == ev.master_list_size
+
+    def test_readahead_rejects_nonpositive(self, rng, data_2d):
+        batch = make_batch(rng, count=4)
+        store = WaveletStorage.build(data_2d, wavelet="haar")
+        ev = BatchBiggestB(store, batch)
+        for bad in (0, -3):
+            with pytest.raises(ValueError):
+                next(ev.steps(readahead=bad))
+
+
+class TestProgressionCacheStaleness:
+    """run_progressive's materialized progression must track store writes."""
+
+    def _make(self, rng):
+        storage = WaveletStorage.empty((16, 16), wavelet="haar", backend="hash")
+        for _ in range(40):
+            i, j = (int(v) for v in rng.integers(0, 16, 2))
+            storage.insert((i, j))
+        batch = make_batch(rng, count=6)
+        return storage, batch
+
+    def test_cache_invalidated_by_streaming_insert(self, rng):
+        storage, batch = self._make(rng)
+        ev = BatchBiggestB(storage, batch)
+        b = ev.master_list_size
+        _, before = ev.run_progressive([b])
+        # Mutate the store between calls: insert more records.
+        for _ in range(25):
+            i, j = (int(v) for v in rng.integers(0, 16, 2))
+            storage.insert((i, j))
+        _, after = ev.run_progressive([b])
+        # The stale cache would replay `before`; a fresh evaluator over the
+        # same (unchanged) plan gives the truth.
+        fresh = BatchBiggestB(storage, batch, rewrites=ev.rewrites, plan=ev.plan)
+        _, want = fresh.run_progressive([b])
+        assert not np.allclose(after, before)
+        np.testing.assert_allclose(after, want, atol=1e-9)
+
+    def test_cache_reused_while_store_unchanged(self, rng):
+        storage, batch = self._make(rng)
+        ev = BatchBiggestB(storage, batch)
+        b = ev.master_list_size
+        _, first = ev.run_progressive([b])
+        storage.store.stats.reset()
+        _, second = ev.run_progressive([b // 2, b])
+        # No new retrievals: the materialized progression was reused.
+        assert storage.store.stats.retrievals == 0
+        np.testing.assert_allclose(first[-1], second[-1], atol=1e-12)
