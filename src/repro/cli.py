@@ -5,13 +5,18 @@ Usage (after ``pip install -e .``):
     python -m repro generate --dataset temperature --records 100000 out.csv
     python -m repro explain  --dataset temperature --cells 4,4,2,2
     python -m repro run      --dataset temperature --cells 4,4,2,2 \
-        --penalty cursored --budget 512
+        --penalty cursored --budget 512 --trace-out trace.json
     python -m repro serve-demo --dataset uniform --shape 64,64 \
-        --clients 4 --paged
+        --clients 4 --paged --metrics-port 9100
+    python -m repro metrics --format prometheus
 
 The CLI mirrors the benchmark harness at whatever scale you ask for; it is
 the quickest way to eyeball the paper's Observations 1-3 — and the service
-layer's cross-batch sharing — on your own parameters.
+layer's cross-batch sharing — on your own parameters.  Every subcommand is
+wired into the ``repro.obs`` telemetry layer: ``--trace-out`` captures a
+Chrome-``chrome://tracing`` span trace of the whole pipeline,
+``--metrics-port`` exposes the metric registry at ``/metrics``, and the
+``metrics`` subcommand runs a small workload and prints the registry.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.batch import BatchBiggestB
 from repro.core.explain import explain
 from repro.core.metrics import mean_relative_error
@@ -155,7 +161,22 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _start_trace(args: argparse.Namespace) -> bool:
+    """Enable span recording when the subcommand got ``--trace-out``."""
+    if getattr(args, "trace_out", None) is None:
+        return False
+    obs.set_tracing(True)
+    return True
+
+
+def _finish_trace(args: argparse.Namespace) -> None:
+    obs.set_tracing(False)
+    spans = obs.get_recorder().export(args.trace_out)
+    print(f"wrote {spans} spans to {args.trace_out} (chrome://tracing format)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    tracing = _start_trace(args)
     relation = _build_relation(args)
     delta = relation.frequency_distribution()
     storage = WaveletStorage.build(delta, wavelet=args.wavelet)
@@ -166,6 +187,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     master = evaluator.master_list_size
     budgets = sorted({min(args.budget, master), master})
     _, snaps = evaluator.run_progressive(budgets)
+    if tracing:
+        _finish_trace(args)
     print(f"batch: {batch.size} queries | master list: {master:,} | "
           f"unshared: {evaluator.unshared_retrievals:,} "
           f"({evaluator.unshared_retrievals / master:.1f}x sharing)")
@@ -180,6 +203,14 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_serve_demo(args: argparse.Namespace) -> int:
     """N concurrent dashboards against one service: the sharing payoff."""
+    tracing = _start_trace(args)
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = obs.start_metrics_server(obs.REGISTRY, port=args.metrics_port)
+        print(
+            "serving telemetry on "
+            f"http://127.0.0.1:{metrics_server.server_port}/metrics"
+        )
     relation = _build_relation(args)
     delta = relation.frequency_distribution()
     storage = WaveletStorage.build(delta, wavelet=args.wavelet)
@@ -215,9 +246,11 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
 
         service = ProgressiveQueryService(storage)
         answers: dict[int, np.ndarray] = {}
+        session_ids: dict[int, str] = {}
 
         def client(idx: int) -> None:
             session_id = service.submit(batches[idx])
+            session_ids[idx] = session_id
             while not service.poll(session_id).is_exact:
                 service.advance(session_id, args.chunk)
             answers[idx] = service.poll(session_id).estimates
@@ -259,12 +292,51 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
                 f"page buffer pool: {pc['hits']:,} hits / {pc['misses']:,} misses "
                 f"/ {pc['evictions']:,} evictions ({pc['hit_ratio']:.1%} hit ratio)"
             )
+        bound_trajectory = service.convergence(session_ids[0])
+        if bound_trajectory:
+            first, last = bound_trajectory[0], bound_trajectory[-1]
+            print(
+                f"convergence (client 0): Thm-1 bound {first.worst_case_bound:.3e} "
+                f"@ B={first.steps_taken} -> {last.worst_case_bound:.3e} "
+                f"@ B={last.steps_taken} in {last.wall_time * 1e3:.1f}ms"
+            )
+        if tracing:
+            _finish_trace(args)
         print(f"all clients exact: {ok}")
         return 0 if ok else 1
     finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
         if tmpdir is not None:
             storage.store.close()
             tmpdir.cleanup()
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a small shared-service workload and print the metric registry.
+
+    The quickest way to see the whole telemetry surface: two overlapping
+    partition batches drive the scheduler, session, and (metrics-wise)
+    every instrumented layer, then the registry is dumped in Prometheus
+    text or JSON exposition format.
+    """
+    relation = _build_relation(args)
+    storage = WaveletStorage.build(
+        relation.frequency_distribution(), wavelet=args.wavelet
+    )
+    service = ProgressiveQueryService(storage)
+    for seed in (args.seed + 1, args.seed + 2):
+        rng = np.random.default_rng(seed)
+        batch = partition_count_batch(
+            relation.shape, args.cells, rng=rng, min_width=args.min_width
+        )
+        session_id = service.submit(batch)
+        service.run_to_completion(session_id)
+    if args.format == "json":
+        print(obs.REGISTRY.render_json())
+    else:
+        print(obs.REGISTRY.render_prometheus(), end="")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -294,6 +366,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["sse", "cursored", "laplacian", "l1", "linf"])
     p_run.add_argument("--budget", type=int, default=512,
                        help="progressive checkpoint (retrievals)")
+    p_run.add_argument("--trace-out", default=None, dest="trace_out",
+                       help="write a chrome://tracing span trace to this path")
     p_run.set_defaults(func=cmd_run)
 
     p_serve = sub.add_parser(
@@ -312,7 +386,27 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="page_size", help="coefficients per disk page")
     p_serve.add_argument("--buffer-pages", type=int, default=64,
                          dest="buffer_pages", help="LRU buffer pool capacity")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         dest="metrics_port",
+                         help="serve /metrics (Prometheus text) on this port "
+                         "from a daemon thread; 0 picks an ephemeral port")
+    p_serve.add_argument("--trace-out", default=None, dest="trace_out",
+                         help="write a chrome://tracing span trace to this path")
     p_serve.set_defaults(func=cmd_serve_demo)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a small workload and print the telemetry registry",
+    )
+    _add_common(p_metrics)
+    _add_batch_args(p_metrics)
+    p_metrics.add_argument("--format", choices=["prometheus", "json"],
+                           default="prometheus",
+                           help="exposition format (default: prometheus text)")
+    p_metrics.set_defaults(
+        func=cmd_metrics, dataset="uniform", shape=(16, 16),
+        records=2000, cells=(2, 2),
+    )
     return parser
 
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.penalties import Penalty, SsePenalty
 from repro.core.plan import QueryPlan
+from repro.obs import span
 from repro.queries.vector_query import QueryBatch
 from repro.storage.base import LinearStorage
 
@@ -121,11 +122,12 @@ class BatchBiggestB:
 
         Retrieves every master-list key exactly once, in importance order.
         """
-        ordered_keys = self.plan.keys[self.order]
-        fetched = self.storage.store.fetch(ordered_keys)
-        coeff_by_pos = np.empty(self.plan.num_keys)
-        coeff_by_pos[self.order] = fetched
-        return self.plan.exact_estimates(coeff_by_pos)
+        with span("batch.run", keys=self.plan.num_keys):
+            ordered_keys = self.plan.keys[self.order]
+            fetched = self.storage.store.fetch(ordered_keys)
+            coeff_by_pos = np.empty(self.plan.num_keys)
+            coeff_by_pos[self.order] = fetched
+            return self.plan.exact_estimates(coeff_by_pos)
 
     # ------------------------------------------------------------------
     # Progressive evaluation
@@ -162,9 +164,10 @@ class BatchBiggestB:
         # Step 5: extract the maxima, retrieve chunked, advance each query.
         while heap:
             chunk = [heapq.heappop(heap) for _ in range(min(readahead, len(heap)))]
-            coefficients = self.storage.store.fetch(
-                np.array([key for _, key, _ in chunk], dtype=np.int64)
-            )
+            with span("batch.fetch", keys=len(chunk)):
+                coefficients = self.storage.store.fetch(
+                    np.array([key for _, key, _ in chunk], dtype=np.int64)
+                )
             for (neg_iota, key, pos), coefficient in zip(chunk, coefficients):
                 coefficient = float(coefficient)
                 segment = entry_order[offsets[pos] : offsets[pos + 1]]
@@ -213,20 +216,26 @@ class BatchBiggestB:
             # (the coefficients are already held).
             sorted_rank, contrib, qid_sorted = cached[1]
         else:
-            ordered_keys = self.plan.keys[self.order]
-            fetched = self.storage.store.fetch(ordered_keys)
-            coeff_by_pos = np.empty(self.plan.num_keys)
-            coeff_by_pos[self.order] = fetched
-            rank = np.empty(self.plan.num_keys, dtype=np.int64)
-            rank[self.order] = np.arange(self.plan.num_keys)
-            entry_rank = rank[self.plan.entry_key_pos]
-            by_rank = np.argsort(entry_rank, kind="stable")
-            sorted_rank = entry_rank[by_rank]
-            contrib = (
-                self.plan.entry_val * coeff_by_pos[self.plan.entry_key_pos]
-            )[by_rank]
-            qid_sorted = self.plan.entry_qid[by_rank]
-            self._progression_cache = (version, (sorted_rank, contrib, qid_sorted))
+            with span(
+                "batch.run_progressive.materialize", keys=self.plan.num_keys
+            ):
+                ordered_keys = self.plan.keys[self.order]
+                fetched = self.storage.store.fetch(ordered_keys)
+                coeff_by_pos = np.empty(self.plan.num_keys)
+                coeff_by_pos[self.order] = fetched
+                rank = np.empty(self.plan.num_keys, dtype=np.int64)
+                rank[self.order] = np.arange(self.plan.num_keys)
+                entry_rank = rank[self.plan.entry_key_pos]
+                by_rank = np.argsort(entry_rank, kind="stable")
+                sorted_rank = entry_rank[by_rank]
+                contrib = (
+                    self.plan.entry_val * coeff_by_pos[self.plan.entry_key_pos]
+                )[by_rank]
+                qid_sorted = self.plan.entry_qid[by_rank]
+                self._progression_cache = (
+                    version,
+                    (sorted_rank, contrib, qid_sorted),
+                )
         estimates = np.zeros(self.plan.batch_size)
         out = np.zeros((checkpoints.size, self.plan.batch_size))
         prev_edge = 0

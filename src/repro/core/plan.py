@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.penalties import Penalty
+from repro.obs import span
 
 
 @dataclass
@@ -50,19 +51,26 @@ class QueryPlan:
         """Merge rewritten queries (objects with ``indices``/``values``)."""
         if not rewrites:
             raise ValueError("need at least one rewritten query")
-        all_keys = np.concatenate([np.asarray(r.indices, dtype=np.int64) for r in rewrites])
-        all_vals = np.concatenate([np.asarray(r.values, dtype=np.float64) for r in rewrites])
-        nnz = np.array([int(np.asarray(r.indices).size) for r in rewrites], dtype=np.int64)
-        qids = np.repeat(np.arange(len(rewrites), dtype=np.int64), nnz)
-        uniq, inverse = np.unique(all_keys, return_inverse=True)
-        return cls(
-            batch_size=len(rewrites),
-            keys=uniq,
-            entry_key_pos=inverse.astype(np.int64),
-            entry_qid=qids,
-            entry_val=all_vals,
-            per_query_nnz=nnz,
-        )
+        with span("plan.from_rewrites", queries=len(rewrites)):
+            all_keys = np.concatenate(
+                [np.asarray(r.indices, dtype=np.int64) for r in rewrites]
+            )
+            all_vals = np.concatenate(
+                [np.asarray(r.values, dtype=np.float64) for r in rewrites]
+            )
+            nnz = np.array(
+                [int(np.asarray(r.indices).size) for r in rewrites], dtype=np.int64
+            )
+            qids = np.repeat(np.arange(len(rewrites), dtype=np.int64), nnz)
+            uniq, inverse = np.unique(all_keys, return_inverse=True)
+            return cls(
+                batch_size=len(rewrites),
+                keys=uniq,
+                entry_key_pos=inverse.astype(np.int64),
+                entry_qid=qids,
+                entry_val=all_vals,
+                per_query_nnz=nnz,
+            )
 
     @classmethod
     def from_batch(cls, storage, batch, workers: int | None = None) -> "QueryPlan":
@@ -74,7 +82,8 @@ class QueryPlan:
         distinct ones on a ``workers``-wide process pool) and builds the
         master list from them.
         """
-        return cls.from_rewrites(storage.rewrite_batch(batch, workers=workers))
+        with span("plan.from_batch", queries=len(batch)):
+            return cls.from_rewrites(storage.rewrite_batch(batch, workers=workers))
 
     # ------------------------------------------------------------------
     # Sizes

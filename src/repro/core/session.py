@@ -30,6 +30,8 @@ import numpy as np
 
 from repro.core.penalties import Penalty, SsePenalty
 from repro.core.plan import QueryPlan
+from repro.obs import ConvergenceLog
+from repro.obs import enabled as _telemetry_enabled
 from repro.queries.vector_query import QueryBatch
 from repro.storage.base import LinearStorage
 
@@ -43,6 +45,7 @@ class ProgressiveSession:
         batch: QueryBatch,
         penalty: Penalty | None = None,
         workers: int | None = None,
+        convergence_capacity: int = 1024,
     ) -> None:
         self.storage = storage
         self.batch = batch
@@ -52,7 +55,11 @@ class ProgressiveSession:
         self.rewrites = storage.rewrite_batch(batch, workers=workers)
         self.plan = QueryPlan.from_rewrites(self.rewrites)
         self.estimates = np.zeros(batch.size)
+        #: Bounded ring of ``(B, retrievals, bound, wall_time)`` events —
+        #: one per applied coefficient; see ``docs/OBSERVABILITY.md``.
+        self.convergence = ConvergenceLog(capacity=convergence_capacity)
         self._retrieved = np.zeros(self.plan.num_keys, dtype=bool)
+        self._steps_taken = 0
         self._coefficients = np.zeros(self.plan.num_keys)
         self._entry_order, self._offsets = self.plan.csr_by_key()
         self._importance = self.plan.importance(self.penalty)
@@ -68,7 +75,7 @@ class ProgressiveSession:
     @property
     def steps_taken(self) -> int:
         """Coefficients retrieved so far (self-fetched and delivered)."""
-        return int(self._retrieved.sum())
+        return self._steps_taken
 
     @property
     def remaining(self) -> int:
@@ -234,6 +241,7 @@ class ProgressiveSession:
 
     def _apply(self, pos: int, coefficient: float) -> None:
         self._retrieved[pos] = True
+        self._steps_taken += 1
         self._coefficients[pos] = coefficient
         segment = self._entry_order[self._offsets[pos] : self._offsets[pos + 1]]
         np.add.at(
@@ -241,6 +249,18 @@ class ProgressiveSession:
             self.plan.entry_qid[segment],
             self.plan.entry_val[segment] * coefficient,
         )
+        # Convergence telemetry: one event per applied coefficient.  The
+        # bound is computed from the session's own pending heap, so the
+        # trajectory is monotone regardless of who fetched the key.
+        if _telemetry_enabled():
+            stats = getattr(self.storage.store, "stats", None)
+            self.convergence.record(
+                steps_taken=self._steps_taken,
+                retrievals=(
+                    int(stats.retrievals) if stats is not None else self._steps_taken
+                ),
+                worst_case_bound=self.worst_case_bound(),
+            )
 
     def _prune_heap(self) -> None:
         while self._heap and self._retrieved[self._heap[0][2]]:

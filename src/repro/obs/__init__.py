@@ -1,0 +1,62 @@
+"""``repro.obs`` — the unified telemetry subsystem.
+
+One dependency-free layer carries all operational visibility for the
+progressive pipeline:
+
+* :mod:`repro.obs.metrics` — a thread-safe metric registry (counters,
+  gauges, log-bucket histograms, labels) with Prometheus text and JSON
+  exposition; the process-global default is :data:`REGISTRY`;
+* :mod:`repro.obs.trace` — nested wall-clock :func:`span`\\ s recorded
+  into a bounded ring and exported as Chrome ``chrome://tracing`` JSON;
+* :mod:`repro.obs.convergence` — per-session ``(B, retrievals, bound,
+  wall_time)`` event logs, the paper's Figures 5-7 from live telemetry;
+* :mod:`repro.obs.http` — a stdlib ``/metrics`` endpoint.
+
+Both collection systems are switchable: :func:`set_enabled` gates
+metrics and convergence events (default on), :func:`set_tracing` gates
+spans (default off).  Disabled telemetry costs one boolean check per
+call site — enforced by ``tests/test_telemetry_overhead.py``.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs.convergence import ConvergenceLog, ConvergenceRecord
+from repro.obs.http import start_metrics_server
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    REGISTRY,
+    enabled,
+    set_enabled,
+)
+from repro.obs.trace import (
+    SpanRecord,
+    TraceRecorder,
+    get_recorder,
+    set_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "REGISTRY",
+    "DEFAULT_TIME_BUCKETS",
+    "ConvergenceLog",
+    "ConvergenceRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "SpanRecord",
+    "TraceRecorder",
+    "enabled",
+    "get_recorder",
+    "set_enabled",
+    "set_tracing",
+    "span",
+    "start_metrics_server",
+    "tracing_enabled",
+]

@@ -1,0 +1,108 @@
+"""Per-session convergence event log: the paper's Figures 5-7, live.
+
+Every :class:`~repro.core.session.ProgressiveSession` owns a bounded
+:class:`ConvergenceLog`; each applied coefficient appends one
+:class:`ConvergenceRecord` ``(steps_taken, retrievals, worst_case_bound,
+wall_time)``.  A dashboard polling
+``ProgressiveQueryService.convergence(session_id)`` can therefore plot
+the Theorem-1 bound against the progressive budget B as it decays —
+reproduced from live telemetry rather than offline replay.
+
+``worst_case_bound`` is guaranteed monotonically non-increasing along a
+trajectory: the bound is ``K**alpha`` times the largest importance still
+pending, and applying a coefficient only ever *removes* pending keys,
+which cannot raise that maximum — regardless of whether the session
+fetched the key itself or a shared scheduler delivered it out of the
+session's own order.
+
+Recording honours the module-level telemetry switch
+(:func:`repro.obs.set_enabled`): with telemetry off the log stays empty.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.metrics import _switch
+
+
+@dataclass(frozen=True)
+class ConvergenceRecord:
+    """One point on a session's error-vs-I/O trajectory.
+
+    Attributes
+    ----------
+    steps_taken:
+        Coefficients held by the session — the paper's progressive ``B``.
+    retrievals:
+        Store-level fetches counted so far (the paper's I/O cost; for a
+        service session this is the *shared* cost across all sessions on
+        the same store, which is what makes the sharing payoff visible).
+    worst_case_bound:
+        Theorem-1 guarantee on the penalty of the estimates at this point.
+    wall_time:
+        Seconds since the session opened.
+    """
+
+    steps_taken: int
+    retrievals: int
+    worst_case_bound: float
+    wall_time: float
+
+
+class ConvergenceLog:
+    """A thread-safe bounded ring of :class:`ConvergenceRecord` events."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("convergence log capacity must be positive")
+        self._ring: deque[ConvergenceRecord] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def record(
+        self, steps_taken: int, retrievals: int, worst_case_bound: float
+    ) -> None:
+        """Append one event (no-op while telemetry is disabled)."""
+        if not _switch.enabled:
+            return
+        event = ConvergenceRecord(
+            steps_taken=int(steps_taken),
+            retrievals=int(retrievals),
+            worst_case_bound=float(worst_case_bound),
+            wall_time=time.perf_counter() - self._t0,
+        )
+        with self._lock:
+            self._ring.append(event)
+
+    def trajectory(self) -> list[ConvergenceRecord]:
+        """The retained events, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def as_dicts(self) -> list[dict]:
+        """JSON-friendly trajectory (what a dashboard endpoint would ship)."""
+        return [
+            {
+                "steps_taken": r.steps_taken,
+                "retrievals": r.retrievals,
+                "worst_case_bound": r.worst_case_bound,
+                "wall_time": r.wall_time,
+            }
+            for r in self.trajectory()
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()

@@ -1,0 +1,61 @@
+"""Prometheus/JSON exposition over HTTP (stdlib ``http.server`` only).
+
+:func:`start_metrics_server` binds a ``ThreadingHTTPServer`` on a daemon
+thread and serves:
+
+* ``GET /metrics`` — Prometheus text format (scrape target);
+* ``GET /metrics.json`` — the registry's JSON snapshot.
+
+``repro serve-demo --metrics-port 9100`` wires this up for the demo
+service; any long-running embedder can do the same with two lines.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricRegistry
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _make_handler(registry: MetricRegistry):
+    class MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                body = registry.render_prometheus().encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            elif path == "/metrics.json":
+                body = registry.render_json().encode("utf-8")
+                content_type = "application/json"
+            else:
+                self.send_error(404, "try /metrics or /metrics.json")
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args) -> None:  # keep scrapes off stderr
+            pass
+
+    return MetricsHandler
+
+
+def start_metrics_server(
+    registry: MetricRegistry, port: int = 0, host: str = "127.0.0.1"
+) -> ThreadingHTTPServer:
+    """Serve ``registry`` on ``http://host:port/metrics`` from a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read the actual one from the
+    returned server's ``server_port``.  Call ``server.shutdown()`` to stop.
+    """
+    server = ThreadingHTTPServer((host, port), _make_handler(registry))
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-metrics", daemon=True
+    )
+    thread.start()
+    return server

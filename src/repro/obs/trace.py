@@ -1,0 +1,189 @@
+"""Wall-clock tracing spans with a Chrome-trace exporter.
+
+``span("rewrite.cascade", n=4096)`` is a context manager that records a
+complete-event (begin + duration) into a bounded ring buffer.  Tracing is
+off by default — a disabled span is one boolean check on ``__enter__``
+and one on ``__exit__`` — and is switched on per run via
+:func:`set_tracing` (the CLI's ``--trace-out`` flag does this for you).
+
+The recorder exports the standard Chrome trace-event JSON format, so a
+captured run drops straight into ``chrome://tracing`` / Perfetto:
+nested spans on one thread render as a flame graph, concurrent service
+threads render as parallel tracks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+
+class SpanRecord:
+    """One completed span: name, microsecond start/duration, thread, attrs."""
+
+    __slots__ = ("name", "ts_us", "dur_us", "tid", "attrs")
+
+    def __init__(
+        self, name: str, ts_us: float, dur_us: float, tid: int, attrs: dict
+    ) -> None:
+        self.name = name
+        self.ts_us = ts_us
+        self.dur_us = dur_us
+        self.tid = tid
+        self.attrs = attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord({self.name!r}, ts_us={self.ts_us:.1f}, "
+            f"dur_us={self.dur_us:.1f}, tid={self.tid}, attrs={self.attrs})"
+        )
+
+
+class TraceRecorder:
+    """A thread-safe ring buffer of completed spans.
+
+    The ring bounds memory no matter how long a traced run goes: with the
+    default 65536-span capacity the oldest spans fall off first.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be positive")
+        self._buffer: deque[SpanRecord] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._tids: dict[int, tuple[int, str]] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self._buffer.maxlen or 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._buffer.append(record)
+
+    def add(self, name: str, ts_us: float, dur_us: float, attrs: dict) -> None:
+        """Record a span for the calling thread (one lock acquisition)."""
+        ident = threading.get_ident()
+        with self._lock:
+            entry = self._tids.get(ident)
+            if entry is None:
+                entry = (len(self._tids), threading.current_thread().name)
+                self._tids[ident] = entry
+            self._buffer.append(SpanRecord(name, ts_us, dur_us, entry[0], attrs))
+
+    def records(self) -> list[SpanRecord]:
+        with self._lock:
+            return list(self._buffer)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+            self._tids.clear()
+
+    # -- exposition ----------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The ``chrome://tracing`` / Perfetto JSON object format."""
+        pid = os.getpid()
+        with self._lock:
+            records = list(self._buffer)
+            tids = dict(self._tids)
+        events: list[dict] = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": track,
+                "args": {"name": thread_name},
+            }
+            for track, thread_name in sorted(tids.values())
+        ]
+        for rec in records:
+            events.append(
+                {
+                    "name": rec.name,
+                    "ph": "X",
+                    "ts": rec.ts_us,
+                    "dur": rec.dur_us,
+                    "pid": pid,
+                    "tid": rec.tid,
+                    "args": rec.attrs,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export(self, path) -> int:
+        """Write the Chrome trace JSON to ``path``; returns the span count."""
+        trace = self.to_chrome_trace()
+        with open(path, "w") as fh:
+            json.dump(trace, fh, default=str)
+        return sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+
+
+_enabled = False
+_recorder = TraceRecorder()
+#: perf_counter origin for microsecond timestamps (per-process, monotonic).
+_T0 = time.perf_counter()
+
+
+def set_tracing(enabled: bool, capacity: int | None = None) -> bool:
+    """Turn span recording on or off; returns the previous state.
+
+    ``capacity`` (spans kept) replaces the recorder ring when given —
+    existing records are dropped.
+    """
+    global _enabled, _recorder
+    previous = _enabled
+    if capacity is not None:
+        _recorder = TraceRecorder(capacity)
+    _enabled = bool(enabled)
+    return previous
+
+
+def tracing_enabled() -> bool:
+    return _enabled
+
+
+def get_recorder() -> TraceRecorder:
+    """The active trace ring (swapped by ``set_tracing(capacity=...)``)."""
+    return _recorder
+
+
+class span:
+    """Context manager timing one named region of the pipeline.
+
+    Keyword attributes land in the Chrome trace's ``args`` panel.  When
+    tracing is disabled (the default) enter/exit are a boolean check
+    each, so instrumented hot paths cost nothing measurable.
+    """
+
+    __slots__ = ("name", "attrs", "_t0")
+
+    def __init__(self, name: str, **attrs: object) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._t0: float | None = None
+
+    def __enter__(self) -> "span":
+        if _enabled:
+            self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t0 = self._t0
+        if t0 is not None and _enabled:
+            t1 = time.perf_counter()
+            _recorder.add(
+                self.name,
+                ts_us=(t0 - _T0) * 1e6,
+                dur_us=(t1 - t0) * 1e6,
+                attrs=self.attrs,
+            )
+        return False

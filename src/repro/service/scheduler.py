@@ -28,16 +28,27 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.session import ProgressiveSession
+from repro.obs import REGISTRY, MetricRegistry, span
+
+#: Distinguishes scheduler instances inside the process-global registry.
+_INSTANCE_IDS = itertools.count()
 
 
-@dataclass
 class SchedulerMetrics:
     """Counters for the shared retrieval schedule.
+
+    Since the telemetry refactor this is a read-only *view* over the
+    ``repro.obs`` metric registry (the ``repro_scheduler_*_total`` series
+    with this scheduler's ``scheduler=`` label) — the attribute surface
+    is unchanged, so existing callers keep working, but the registry is
+    the single source of truth and every mutation is one of its atomic
+    (lock-guarded) operations.
 
     Attributes
     ----------
@@ -51,9 +62,35 @@ class SchedulerMetrics:
         the key was retrieved for a session that is still live).
     """
 
-    retrievals: int = 0
-    deliveries: int = 0
-    cache_deliveries: int = 0
+    def __init__(self, registry: MetricRegistry, instance: str) -> None:
+        self._instance = instance
+        self._retrievals = registry.counter(
+            "repro_scheduler_retrievals_total",
+            "Coefficient fetches issued against the store (the paper's cost)",
+            ("scheduler",),
+        )
+        self._deliveries = registry.counter(
+            "repro_scheduler_deliveries_total",
+            "Coefficient applications into sessions",
+            ("scheduler",),
+        )
+        self._cache_deliveries = registry.counter(
+            "repro_scheduler_cache_deliveries_total",
+            "Deliveries served from the cross-session coefficient cache",
+            ("scheduler",),
+        )
+
+    @property
+    def retrievals(self) -> int:
+        return int(self._retrievals.value(scheduler=self._instance))
+
+    @property
+    def deliveries(self) -> int:
+        return int(self._deliveries.value(scheduler=self._instance))
+
+    @property
+    def cache_deliveries(self) -> int:
+        return int(self._cache_deliveries.value(scheduler=self._instance))
 
     @property
     def shared_deliveries(self) -> int:
@@ -62,8 +99,13 @@ class SchedulerMetrics:
 
     @property
     def shared_hit_ratio(self) -> float:
-        """Fraction of deliveries that re-used another session's fetch."""
-        return self.shared_deliveries / self.deliveries if self.deliveries else 0.0
+        """Fraction of deliveries that re-used another session's fetch.
+
+        Defined as 0.0 on a freshly started service (``deliveries == 0``)
+        rather than NaN/raising — dashboards render it immediately.
+        """
+        deliveries = self.deliveries
+        return self.shared_deliveries / deliveries if deliveries else 0.0
 
 
 @dataclass
@@ -80,11 +122,27 @@ class SharedRetrievalScheduler:
     threads can drive different sessions concurrently against one store.
     """
 
-    def __init__(self, store) -> None:
+    def __init__(self, store, registry: MetricRegistry | None = None) -> None:
         #: The shared coefficient store (a CountingStore or a
         #: PagedCoefficientStore — anything with ``fetch``).
         self.store = store
-        self.metrics = SchedulerMetrics()
+        self.registry = REGISTRY if registry is None else registry
+        self._instance = str(next(_INSTANCE_IDS))
+        self.metrics = SchedulerMetrics(self.registry, self._instance)
+        self._live_sessions = self.registry.gauge(
+            "repro_scheduler_live_sessions",
+            "Sessions currently registered with the shared schedule",
+            ("scheduler",),
+        )
+        self._live_sessions.set(0, scheduler=self._instance)
+        self._fetch_seconds = self.registry.histogram(
+            "repro_scheduler_fetch_seconds",
+            "Wall-clock latency of single-coefficient store fetches",
+        )
+        self._advance_seconds = self.registry.histogram(
+            "repro_scheduler_advance_seconds",
+            "Wall-clock latency of advance_session calls",
+        )
         self._lock = threading.RLock()
         self._heap: list[tuple[float, int, int, int]] = []
         self._registrations: dict[int, _Registration] = {}
@@ -106,6 +164,7 @@ class SharedRetrievalScheduler:
             for key in keys.tolist():
                 self._interest.setdefault(key, set()).add(sid)
             self._push_pending(sid, reg)
+            self._live_sessions.inc(scheduler=self._instance)
             return sid
 
     def deregister(self, sid: int) -> None:
@@ -114,6 +173,7 @@ class SharedRetrievalScheduler:
             reg = self._registrations.pop(sid, None)
             if reg is None:
                 return
+            self._live_sessions.dec(scheduler=self._instance)
             for key in list(self._interest):
                 holders = self._interest[key]
                 holders.discard(sid)
@@ -166,12 +226,14 @@ class SharedRetrievalScheduler:
         """
         if k < 0:
             raise ValueError("k must be non-negative")
-        with self._lock:
+        with self._lock, span("scheduler.advance", sid=sid, k=k):
+            t0 = time.perf_counter()
             session = self._registrations[sid].session
             start = session.steps_taken
             while session.steps_taken - start < k and not session.is_exact:
                 if self.step() is None:
                     break
+            self._advance_seconds.observe(time.perf_counter() - t0)
             return session.steps_taken - start
 
     def drain(self) -> int:
@@ -193,25 +255,34 @@ class SharedRetrievalScheduler:
             heapq.heappush(self._heap, (-float(iota), int(key), sid, epoch))
 
     def _serve(self, key: int) -> int:
+        instance = self._instance
         if key in self._coefficients:
             coefficient = self._coefficients[key]
             fetched = False
         else:
-            coefficient = float(self.store.fetch(np.array([key]))[0])
-            self.metrics.retrievals += 1
+            with span("scheduler.fetch", key=key):
+                t0 = time.perf_counter()
+                coefficient = float(self.store.fetch(np.array([key]))[0])
+                self._fetch_seconds.observe(time.perf_counter() - t0)
+            self.metrics._retrievals.inc(scheduler=instance)
             fetched = True
             # Cache while any live session holds the key, so overlapping
             # batches submitted later reuse the fetch without I/O.
             self._coefficients[key] = coefficient
+        deliveries = cache_deliveries = 0
         for sid in self._interest.get(key, ()):
             reg = self._registrations.get(sid)
             if reg is None:
                 continue
             if reg.session.deliver(key, coefficient):
-                self.metrics.deliveries += 1
+                deliveries += 1
                 reg.delivered += 1
                 if not fetched:
-                    self.metrics.cache_deliveries += 1
+                    cache_deliveries += 1
+        if deliveries:
+            self.metrics._deliveries.inc(deliveries, scheduler=instance)
+        if cache_deliveries:
+            self.metrics._cache_deliveries.inc(cache_deliveries, scheduler=instance)
         return key
 
     def delivered_count(self, sid: int) -> int:

@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.penalties import Penalty
 from repro.core.session import ProgressiveSession
+from repro.obs import REGISTRY, ConvergenceRecord, MetricRegistry, span
 from repro.queries.vector_query import QueryBatch
 from repro.service.scheduler import SharedRetrievalScheduler
 from repro.storage.base import LinearStorage
@@ -62,11 +64,19 @@ class SessionSnapshot:
 class ServiceMetrics:
     """Service-wide instrumentation snapshot.
 
+    Since the telemetry refactor this is a *compatibility view*: every
+    field is derived from the ``repro.obs`` metric registry (see
+    ``docs/OBSERVABILITY.md``), which is the single source of truth and
+    additionally carries latency histograms and exposition
+    (``render_prometheus`` / ``to_json`` / the ``/metrics`` endpoint)
+    that this snapshot does not.
+
     ``retrievals`` counts actual store fetches; ``deliveries`` counts
     coefficient applications into sessions.  ``shared_hit_ratio`` is the
     fraction of deliveries that re-used another session's fetch — the
-    service-level generalization of Observation 1.  ``page_cache`` is the
-    paged store's buffer-pool counters when the coefficients live on disk
+    service-level generalization of Observation 1 — and reads 0.0 (not
+    NaN) on a freshly started service.  ``page_cache`` is the paged
+    store's buffer-pool counters when the coefficients live on disk
     (None for in-memory stores).
     """
 
@@ -84,13 +94,28 @@ class ServiceMetrics:
 class ProgressiveQueryService:
     """Serve many concurrent progressive batch evaluations over one store."""
 
-    def __init__(self, storage: LinearStorage) -> None:
+    def __init__(
+        self, storage: LinearStorage, registry: MetricRegistry | None = None
+    ) -> None:
         self.storage = storage
-        self.scheduler = SharedRetrievalScheduler(storage.store)
+        self.registry = REGISTRY if registry is None else registry
+        self.scheduler = SharedRetrievalScheduler(storage.store, registry=self.registry)
         self._lock = threading.RLock()
         self._sessions: dict[str, tuple[ProgressiveSession, int]] = {}
         self._ids = itertools.count(1)
-        self._submitted = 0
+        self._submitted_total = self.registry.counter(
+            "repro_service_sessions_submitted_total",
+            "Progressive sessions opened by submit()",
+            ("scheduler",),
+        )
+        self._submit_seconds = self.registry.histogram(
+            "repro_service_submit_seconds",
+            "Wall-clock latency of submit() (rewrite + plan + registration)",
+        )
+        self._advance_seconds = self.registry.histogram(
+            "repro_service_advance_seconds",
+            "Wall-clock latency of advance() calls",
+        )
 
     # ------------------------------------------------------------------
     # Client surface
@@ -111,14 +136,16 @@ class ProgressiveQueryService:
         before assembly — worthwhile for cold caches on large domains, since
         submit latency is dominated by the rewrite front end.
         """
-        with self._lock:
+        with self._lock, span("service.submit", queries=batch.size):
+            t0 = time.perf_counter()
             session = ProgressiveSession(
                 self.storage, batch, penalty=penalty, workers=workers
             )
             session_id = f"s{next(self._ids)}"
             sid = self.scheduler.register(session)
             self._sessions[session_id] = (session, sid)
-            self._submitted += 1
+            self._submitted_total.inc(scheduler=self.scheduler._instance)
+            self._submit_seconds.observe(time.perf_counter() - t0)
             return session_id
 
     def advance(self, session_id: str, k: int = 1) -> int:
@@ -128,8 +155,11 @@ class ProgressiveQueryService:
         every other live session keeps the coefficients popped on the way.
         """
         with self._lock:
+            t0 = time.perf_counter()
             _, sid = self._session(session_id)
-            return self.scheduler.advance_session(sid, k)
+            gained = self.scheduler.advance_session(sid, k)
+            self._advance_seconds.observe(time.perf_counter() - t0)
+            return gained
 
     def run_to_completion(self, session_id: str) -> np.ndarray:
         """Advance until the session is exact; returns the exact answers."""
@@ -172,6 +202,20 @@ class ProgressiveQueryService:
     # Instrumentation
     # ------------------------------------------------------------------
 
+    def convergence(self, session_id: str) -> list[ConvergenceRecord]:
+        """The session's live error-vs-I/O trajectory (oldest first).
+
+        One :class:`~repro.obs.ConvergenceRecord` per applied coefficient:
+        ``(steps_taken, retrievals, worst_case_bound, wall_time)``.  The
+        ``worst_case_bound`` column is monotonically non-increasing —
+        that is the paper's Figures 5-7 reproduced from live telemetry;
+        plot it against ``steps_taken`` (the progressive budget B) to
+        watch the Theorem-1 guarantee decay as the schedule runs.
+        """
+        with self._lock:
+            session, _ = self._session(session_id)
+            return session.convergence.trajectory()
+
     def metrics(self) -> ServiceMetrics:
         """A :class:`ServiceMetrics` snapshot (see its docstring)."""
         with self._lock:
@@ -196,7 +240,9 @@ class ProgressiveQueryService:
                 cache_deliveries=m.cache_deliveries,
                 shared_hit_ratio=m.shared_hit_ratio,
                 live_sessions=len(self._sessions),
-                sessions_submitted=self._submitted,
+                sessions_submitted=int(
+                    self._submitted_total.value(scheduler=self.scheduler._instance)
+                ),
                 per_session_steps=per_session,
                 page_cache=page_cache,
             )

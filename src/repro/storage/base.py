@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import span
 from repro.queries.vector_query import VectorQuery
 from repro.storage.counter import CountingStore
 
@@ -101,9 +102,12 @@ class LinearStorage(ABC):
         back to the sequential path and produces identical rewrites.
         """
         queries = list(queries)
-        if workers is not None and workers > 1 and len(queries) > 0:
-            self._precompute_factors(queries, workers)
-        return [self.rewrite(q) for q in queries]
+        with span(
+            "rewrite.batch", queries=len(queries), strategy=self.strategy_name
+        ):
+            if workers is not None and workers > 1 and len(queries) > 0:
+                self._precompute_factors(queries, workers)
+            return [self.rewrite(q) for q in queries]
 
     def _rewrite_factor_specs(self, queries) -> "list[tuple] | None":
         """Hashable per-dimension factor tasks for ``queries``, or None.
@@ -126,15 +130,22 @@ class LinearStorage(ABC):
             return
         import concurrent.futures
 
-        try:
-            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                chunk = max(1, len(distinct) // (workers * 4))
-                results = list(pool.map(_qt.compute_factor, distinct, chunksize=chunk))
-        except (OSError, PermissionError, RuntimeError):
-            # No subprocesses available here; the sequential path below
-            # computes (and memoizes) every factor with identical results.
-            return
-        _qt.seed_factors(results)
+        with span(
+            "rewrite.precompute_factors", distinct=len(distinct), workers=workers
+        ):
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers
+                ) as pool:
+                    chunk = max(1, len(distinct) // (workers * 4))
+                    results = list(
+                        pool.map(_qt.compute_factor, distinct, chunksize=chunk)
+                    )
+            except (OSError, PermissionError, RuntimeError):
+                # No subprocesses available here; the sequential path below
+                # computes (and memoizes) every factor with identical results.
+                return
+            _qt.seed_factors(results)
 
     # ------------------------------------------------------------------
     # Conveniences shared by all strategies.

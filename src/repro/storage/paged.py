@@ -30,37 +30,73 @@ constants never require scanning the file.
 
 from __future__ import annotations
 
+import itertools
 import struct
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import REGISTRY, MetricRegistry, span
 from repro.storage.counter import IOStatistics
 
 _MAGIC = b"RPRPAGE1"
 _HEADER = struct.Struct("<qqqddq")
 _HEADER_SIZE = len(_MAGIC) + _HEADER.size
 
+#: Distinguishes paged-store instances inside the process-global registry.
+_INSTANCE_IDS = itertools.count()
 
-@dataclass
+
 class PageCacheStats:
     """Buffer-pool counters for a paged store.
+
+    Since the telemetry refactor this is a read-only *view* over the
+    ``repro.obs`` metric registry (the ``repro_paged_page_*_total``
+    series with this store's ``store=`` label); the attribute surface is
+    unchanged.  The store batches its increments per ``fetch`` call, so
+    the per-key hot path never takes the registry lock.
 
     Attributes
     ----------
     hits:
         Page requests satisfied from the buffer pool.
     misses:
-        Page requests that had to read the file.
+        Page requests that had to read the file (page faults).
     evictions:
         Pages dropped to respect the pool capacity.
     """
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
+    def __init__(self, registry: MetricRegistry, instance: str) -> None:
+        self._instance = instance
+        self._hits = registry.counter(
+            "repro_paged_page_hits_total",
+            "Page requests satisfied from the buffer pool",
+            ("store",),
+        )
+        self._misses = registry.counter(
+            "repro_paged_page_misses_total",
+            "Page requests that had to read the file (page faults)",
+            ("store",),
+        )
+        self._evictions = registry.counter(
+            "repro_paged_page_evictions_total",
+            "Pages dropped to respect the pool capacity",
+            ("store",),
+        )
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value(store=self._instance))
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value(store=self._instance))
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value(store=self._instance))
 
     @property
     def requests(self) -> int:
@@ -72,10 +108,18 @@ class PageCacheStats:
         total = self.requests
         return self.hits / total if total else 0.0
 
+    def _record(self, hits: int, misses: int, evictions: int) -> None:
+        if hits:
+            self._hits.inc(hits, store=self._instance)
+        if misses:
+            self._misses.inc(misses, store=self._instance)
+        if evictions:
+            self._evictions.inc(evictions, store=self._instance)
+
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._hits.remove(store=self._instance)
+        self._misses.remove(store=self._instance)
+        self._evictions.remove(store=self._instance)
 
 
 def write_paged_file(path, values: np.ndarray, page_size: int = 1024) -> int:
@@ -126,11 +170,15 @@ class PagedCoefficientStore:
     #: (sessions use this to keep their Theorem-1 constant cached).
     version = 0
 
-    def __init__(self, path, buffer_pages: int = 64) -> None:
+    def __init__(
+        self, path, buffer_pages: int = 64, registry: MetricRegistry | None = None
+    ) -> None:
         if buffer_pages < 0:
             raise ValueError("buffer capacity must be non-negative")
         self.path = path
         self.buffer_pages = int(buffer_pages)
+        self.registry = REGISTRY if registry is None else registry
+        self._instance = str(next(_INSTANCE_IDS))
         with open(path, "rb") as fh:
             magic = fh.read(len(_MAGIC))
             if magic != _MAGIC:
@@ -153,7 +201,11 @@ class PagedCoefficientStore:
         self._pool: OrderedDict[int, np.ndarray] = OrderedDict()
         self._lock = threading.RLock()
         self.stats = IOStatistics()
-        self.cache = PageCacheStats()
+        self.cache = PageCacheStats(self.registry, self._instance)
+        self._fault_seconds = self.registry.histogram(
+            "repro_paged_fault_seconds",
+            "Wall-clock latency of page faults (file reads into the pool)",
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -271,25 +323,32 @@ class PagedCoefficientStore:
     def _gather(self, keys: np.ndarray) -> np.ndarray:
         out = np.empty(keys.size, dtype=np.float64)
         offsets = keys % self.page_size
+        # Tally pool traffic locally and flush one registry update per
+        # fetch call, keeping the per-key loop free of metric locks.
+        tally = [0, 0, 0]
         for i, page in enumerate((keys // self.page_size).tolist()):
-            out[i] = self._page(page)[offsets[i]]
+            out[i] = self._page(page, tally)[offsets[i]]
+        self.cache._record(*tally)
         return out
 
-    def _page(self, page: int) -> np.ndarray:
+    def _page(self, page: int, tally: list[int]) -> np.ndarray:
         pool = self._pool
         cached = pool.get(page)
         if cached is not None:
             pool.move_to_end(page)
-            self.cache.hits += 1
+            tally[0] += 1
             return cached
-        self.cache.misses += 1
-        start = page * self.page_size
-        values = np.asarray(
-            self._mm[start : start + self.page_size], dtype=np.float64
-        ).copy()
+        tally[1] += 1
+        with span("paged.fault", page=page):
+            t0 = time.perf_counter()
+            start = page * self.page_size
+            values = np.asarray(
+                self._mm[start : start + self.page_size], dtype=np.float64
+            ).copy()
+            self._fault_seconds.observe(time.perf_counter() - t0)
         if self.buffer_pages > 0:
             pool[page] = values
             if len(pool) > self.buffer_pages:
                 pool.popitem(last=False)
-                self.cache.evictions += 1
+                tally[2] += 1
         return values

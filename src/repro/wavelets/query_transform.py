@@ -43,6 +43,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.trace import span as _span
 from repro.util import check_power_of_two, log2_int
 from repro.wavelets import cascade as _cascade_mod
 from repro.wavelets.cascade import cascade_coefficients_1d
@@ -155,9 +156,13 @@ def vector_coefficients_1d(
     if method is None:
         method = _default_method
     if method == "cascade":
-        return cascade_coefficients_1d(filt, n, lo, hi, degree=degree, rtol=rtol)
+        with _span("rewrite.cascade", filter=filt.name, n=n, lo=lo, hi=hi,
+                   degree=degree):
+            return cascade_coefficients_1d(filt, n, lo, hi, degree=degree, rtol=rtol)
     if method == "dense":
-        return _dense_coefficients(filt.name, n, lo, hi, degree, rtol)
+        with _span("rewrite.dense", filter=filt.name, n=n, lo=lo, hi=hi,
+                   degree=degree):
+            return _dense_coefficients(filt.name, n, lo, hi, degree, rtol)
     raise ValueError(f"method must be one of {METHODS}, got {method!r}")
 
 

@@ -1,0 +1,40 @@
+"""A ~20-line Prometheus text-format parser (no deps) used by the
+telemetry tests to round-trip ``MetricRegistry.render_prometheus``."""
+
+from __future__ import annotations
+
+import re
+
+_SAMPLE = re.compile(
+    r"([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(?:\{(.*)\})?"  # optional label block
+    r"\s+(-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?)|NaN|[+-]Inf)$"  # value
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_prometheus(text: str):
+    """Parse exposition text; raises on malformed lines.
+
+    Returns ``(types, samples)``: metric name -> kind, and
+    ``(name, sorted-label-tuple) -> float`` for every sample line.
+    """
+    types: dict[str, str] = {}
+    samples: dict[tuple, float] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in _KINDS, f"bad TYPE {kind!r}"
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.fullmatch(line)
+        assert match, f"malformed sample line: {line!r}"
+        name, label_block, value = match.groups()
+        labels = tuple(sorted(_LABEL.findall(label_block or "")))
+        samples[(name, labels)] = float(value.replace("Inf", "inf"))
+    return types, samples

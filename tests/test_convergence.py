@@ -1,0 +1,116 @@
+"""Tests for the per-session convergence event log (Figures 5-7, live)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.session import ProgressiveSession
+from repro.data.synthetic import uniform_dataset
+from repro.queries.workload import partition_count_batch
+from repro.service.server import ProgressiveQueryService
+from repro.storage.wavelet_store import WaveletStorage
+
+SHAPE = (16, 16)
+
+
+@pytest.fixture
+def storage():
+    relation = uniform_dataset(SHAPE, 1500, seed=3)
+    return WaveletStorage.build(relation.frequency_distribution())
+
+
+def _batch(seed: int):
+    return partition_count_batch(SHAPE, (2, 2), rng=np.random.default_rng(seed))
+
+
+class TestSessionConvergence:
+    def test_one_event_per_applied_coefficient(self, storage):
+        session = ProgressiveSession(storage, _batch(1))
+        session.advance(10)
+        trajectory = session.convergence.trajectory()
+        assert len(trajectory) == 10
+        assert [r.steps_taken for r in trajectory] == list(range(1, 11))
+
+    def test_bound_is_monotonically_non_increasing(self, storage):
+        session = ProgressiveSession(storage, _batch(1))
+        session.run_to_completion()
+        bounds = [r.worst_case_bound for r in session.convergence.trajectory()]
+        assert bounds, "trajectory should not be empty"
+        assert all(b1 >= b2 for b1, b2 in zip(bounds, bounds[1:]))
+        assert bounds[-1] == 0.0  # exhausted master list
+
+    def test_wall_time_and_retrievals_non_decreasing(self, storage):
+        session = ProgressiveSession(storage, _batch(2))
+        session.advance(32)
+        trajectory = session.convergence.trajectory()
+        walls = [r.wall_time for r in trajectory]
+        fetches = [r.retrievals for r in trajectory]
+        assert all(a <= b for a, b in zip(walls, walls[1:]))
+        assert all(a <= b for a, b in zip(fetches, fetches[1:]))
+        assert all(w >= 0 for w in walls)
+
+    def test_ring_is_bounded(self, storage):
+        session = ProgressiveSession(storage, _batch(1), convergence_capacity=8)
+        session.advance(30)
+        trajectory = session.convergence.trajectory()
+        assert len(trajectory) == 8
+        # The ring keeps the newest events.
+        assert trajectory[-1].steps_taken == session.steps_taken
+
+    def test_disabled_telemetry_logs_nothing(self, storage):
+        previous = obs.set_enabled(False)
+        try:
+            session = ProgressiveSession(storage, _batch(1))
+            session.advance(5)
+            assert len(session.convergence) == 0
+        finally:
+            obs.set_enabled(previous)
+
+    def test_as_dicts_is_json_friendly(self, storage):
+        import json
+
+        session = ProgressiveSession(storage, _batch(1))
+        session.advance(3)
+        payload = json.loads(json.dumps(session.convergence.as_dicts()))
+        assert len(payload) == 3
+        assert set(payload[0]) == {
+            "steps_taken",
+            "retrievals",
+            "worst_case_bound",
+            "wall_time",
+        }
+
+
+class TestServiceConvergence:
+    def test_service_trajectory_monotone_under_sharing(self, storage):
+        """Bounds stay monotone even when a shared scheduler delivers
+        coefficients out of the session's own importance order."""
+        service = ProgressiveQueryService(storage)
+        s1 = service.submit(_batch(1))
+        s2 = service.submit(_batch(2))
+        service.run_to_completion(s1)
+        service.run_to_completion(s2)
+        for session_id in (s1, s2):
+            trajectory = service.convergence(session_id)
+            bounds = [r.worst_case_bound for r in trajectory]
+            assert bounds
+            assert all(b1 >= b2 for b1, b2 in zip(bounds, bounds[1:]))
+            assert bounds[-1] == 0.0
+
+    def test_unknown_session_raises(self, storage):
+        service = ProgressiveQueryService(storage)
+        with pytest.raises(KeyError):
+            service.convergence("s999")
+
+    def test_partial_progress_bound_matches_poll(self, storage):
+        service = ProgressiveQueryService(storage)
+        session_id = service.submit(_batch(4))
+        service.advance(session_id, 16)
+        trajectory = service.convergence(session_id)
+        snapshot = service.poll(session_id)
+        assert trajectory[-1].steps_taken == snapshot.steps_taken
+        assert trajectory[-1].worst_case_bound == pytest.approx(
+            snapshot.worst_case_bound
+        )

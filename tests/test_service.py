@@ -168,6 +168,82 @@ class TestConcurrentClients:
         paged.store.close()
 
 
+class TestTelemetry:
+    def test_fresh_service_shared_hit_ratio_is_zero(self, storage):
+        """Regression: no NaN/ZeroDivision when deliveries == 0."""
+        service = ProgressiveQueryService(storage)
+        metrics = service.metrics()
+        assert metrics.deliveries == 0
+        assert metrics.shared_hit_ratio == 0.0
+        assert metrics.shared_hit_ratio == metrics.shared_hit_ratio  # not NaN
+        # The scheduler-level view agrees.
+        assert service.scheduler.metrics.shared_hit_ratio == 0.0
+
+    def test_threaded_clients_produce_exact_counter_totals(self, storage):
+        """Stress the registry's atomic counter ops: concurrent clients
+        must leave exactly union-of-master-lists retrievals and
+        sum-of-master-lists deliveries — no lost or doubled increments."""
+        batches = [
+            partition_count_batch((16, 16), (2, 2), rng=np.random.default_rng(s))
+            for s in range(50, 56)
+        ]
+        plans = [BatchBiggestB(storage, batch).plan for batch in batches]
+        union = set()
+        for plan in plans:
+            union.update(plan.keys.tolist())
+        service = ProgressiveQueryService(storage)
+        barrier = threading.Barrier(len(batches))
+        errors: list[Exception] = []
+
+        def client(idx: int) -> None:
+            try:
+                session_id = service.submit(batches[idx])
+                barrier.wait()
+                while service.advance(session_id, 5):
+                    pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(len(batches))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        metrics = service.metrics()
+        assert metrics.retrievals == len(union)
+        assert metrics.deliveries == sum(plan.num_keys for plan in plans)
+        assert metrics.sessions_submitted == len(batches)
+        assert metrics.live_sessions == len(batches)
+
+    def test_registry_is_single_source_of_truth(self, storage, batches):
+        """ServiceMetrics fields are derived views of repro.obs counters."""
+        service = ProgressiveQueryService(storage)
+        session_id = service.submit(batches[0])
+        service.run_to_completion(session_id)
+        metrics = service.metrics()
+        registry = service.registry
+        instance = service.scheduler._instance
+        assert metrics.retrievals == registry.get(
+            "repro_scheduler_retrievals_total"
+        ).value(scheduler=instance)
+        assert metrics.deliveries == registry.get(
+            "repro_scheduler_deliveries_total"
+        ).value(scheduler=instance)
+        assert metrics.sessions_submitted == registry.get(
+            "repro_service_sessions_submitted_total"
+        ).value(scheduler=instance)
+        assert registry.get("repro_scheduler_live_sessions").value(
+            scheduler=instance
+        ) == metrics.live_sessions
+        # Latency histograms saw the traffic.
+        assert registry.get("repro_service_submit_seconds").count() >= 1
+        assert registry.get("repro_scheduler_fetch_seconds").count() > 0
+
+
 class TestParallelSubmit:
     def test_submit_with_workers_matches_sequential(self, storage, batches):
         from repro.wavelets.query_transform import clear_cache
