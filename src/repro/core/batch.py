@@ -36,6 +36,7 @@ from repro.core.plan import QueryPlan
 from repro.obs import span
 from repro.queries.vector_query import QueryBatch
 from repro.storage.base import LinearStorage
+from repro.storage.resilient import RetrievalError
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,13 @@ class BatchBiggestB:
         abandons the iterator mid-chunk has paid for at most
         ``readahead - 1`` coefficients it never saw.)  ``readahead=1``
         reproduces the strict fetch-per-step loop.
+
+        Degradation: when a resilient store abandons a chunked fetch
+        (:class:`~repro.storage.resilient.RetrievalError`), the chunk is
+        re-fetched key by key and only the still-failing keys are dropped
+        from the progression — their estimates contributions are simply
+        never applied, which keeps every yielded estimate inside the
+        Theorem-1 bound for its step count.
         """
         if readahead < 1:
             raise ValueError(f"readahead must be positive, got {readahead}")
@@ -165,9 +173,26 @@ class BatchBiggestB:
         while heap:
             chunk = [heapq.heappop(heap) for _ in range(min(readahead, len(heap)))]
             with span("batch.fetch", keys=len(chunk)):
-                coefficients = self.storage.store.fetch(
-                    np.array([key for _, key, _ in chunk], dtype=np.int64)
-                )
+                try:
+                    coefficients = self.storage.store.fetch(
+                        np.array([key for _, key, _ in chunk], dtype=np.int64)
+                    )
+                except RetrievalError:
+                    # The chunked read was abandoned (resilient store gave
+                    # up).  Degrade to per-key fetches so one unavailable
+                    # key drops only itself from the progression, not the
+                    # whole readahead chunk.
+                    kept, coefficients = [], []
+                    for entry in chunk:
+                        try:
+                            value = self.storage.store.fetch(
+                                np.array([entry[1]], dtype=np.int64)
+                            )[0]
+                        except RetrievalError:
+                            continue
+                        kept.append(entry)
+                        coefficients.append(value)
+                    chunk = kept
             for (neg_iota, key, pos), coefficient in zip(chunk, coefficients):
                 coefficient = float(coefficient)
                 segment = entry_order[offsets[pos] : offsets[pos + 1]]

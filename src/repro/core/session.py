@@ -19,11 +19,23 @@ the Figure-1 loop with exactly that control surface:
 
 The session never retrieves a coefficient twice, whether it fetched the
 coefficient itself or received it from a scheduler.
+
+Degraded mode: when the store abandons a fetch permanently
+(:class:`~repro.storage.resilient.RetrievalError` after retries and the
+circuit breaker give up), the session marks the key *skipped* rather than
+crashing.  Skipped keys are **not** retrieved: they stay in the
+Theorem-1 bound mass, so :meth:`worst_case_bound` remains a valid upper
+bound on the penalty of the current estimates — the answer degrades but
+stays *bounded*.  :meth:`retry_skipped` re-queues the skipped keys once
+the store recovers, and :meth:`advance`/:meth:`run_until` accept a
+wall-clock ``deadline`` so a slow store degrades latency, never
+correctness (see ``docs/RESILIENCE.md``).
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable
 
 import numpy as np
@@ -34,6 +46,7 @@ from repro.obs import ConvergenceLog
 from repro.obs import enabled as _telemetry_enabled
 from repro.queries.vector_query import QueryBatch
 from repro.storage.base import LinearStorage
+from repro.storage.resilient import RetrievalError
 
 
 class ProgressiveSession:
@@ -59,6 +72,9 @@ class ProgressiveSession:
         #: one per applied coefficient; see ``docs/OBSERVABILITY.md``.
         self.convergence = ConvergenceLog(capacity=convergence_capacity)
         self._retrieved = np.zeros(self.plan.num_keys, dtype=bool)
+        self._skipped = np.zeros(self.plan.num_keys, dtype=bool)
+        self._skipped_count = 0
+        self._skipped_max_iota = 0.0
         self._steps_taken = 0
         self._coefficients = np.zeros(self.plan.num_keys)
         self._entry_order, self._offsets = self.plan.csr_by_key()
@@ -87,17 +103,33 @@ class ProgressiveSession:
         """True once every master-list coefficient has been retrieved."""
         return self.remaining == 0
 
+    @property
+    def skipped_count(self) -> int:
+        """Keys marked unavailable after the store gave up on them."""
+        return self._skipped_count
+
+    @property
+    def degraded(self) -> bool:
+        """True while any master-list key is skipped as unavailable."""
+        return self._skipped_count > 0
+
     def retrieved_keys(self) -> np.ndarray:
         """Master-list keys whose coefficients are already held."""
         return self.plan.keys[self._retrieved]
+
+    def skipped_keys(self) -> np.ndarray:
+        """Master-list keys currently marked unavailable."""
+        return self.plan.keys[self._skipped]
 
     def pending(self) -> tuple[np.ndarray, np.ndarray]:
         """``(keys, importance)`` of the not-yet-retrieved master keys.
 
         The scheduler hook: a shared scheduler seeds its global heap from
-        every live session's pending view.
+        every live session's pending view.  Skipped (unavailable) keys
+        are excluded until :meth:`retry_skipped` re-queues them — the
+        schedule must not spin on keys the store already gave up on.
         """
-        mask = ~self._retrieved
+        mask = ~self._retrieved & ~self._skipped
         return self.plan.keys[mask], self._importance[mask]
 
     def key_position(self, key: int) -> int | None:
@@ -108,9 +140,13 @@ class ProgressiveSession:
         return None
 
     def is_pending(self, key: int) -> bool:
-        """True when ``key`` is in the master list and not yet retrieved."""
+        """True when ``key`` is in the master list, unretrieved, unskipped."""
         pos = self.key_position(key)
-        return pos is not None and not self._retrieved[pos]
+        return (
+            pos is not None
+            and not self._retrieved[pos]
+            and not self._skipped[pos]
+        )
 
     def worst_case_bound(self) -> float:
         """Theorem-1 bound on the penalty of the *current* estimates.
@@ -119,15 +155,23 @@ class ProgressiveSession:
         tied to the store's mutation counter: streaming inserts change the
         stored coefficients, so a bound computed after an update reflects
         the updated store.
+
+        Skipped (unavailable) keys count as *unused*: the bound is taken
+        over the most important coefficient that is pending **or**
+        skipped, so a degraded session still reports a valid upper bound
+        — exactly Theorem 1 applied to the set of coefficients actually
+        held.
         """
         self._prune_heap()
-        if not self._heap:
+        next_iota = -self._heap[0][0] if self._heap else 0.0
+        if self._skipped_count and self._skipped_max_iota > next_iota:
+            next_iota = self._skipped_max_iota
+        if next_iota <= 0.0:
             return 0.0
         version = getattr(self.storage.store, "version", None)
         if self._k_const is None or version != self._k_const_version:
             self._k_const = self.storage.total_l1()
             self._k_const_version = version
-        next_iota = -self._heap[0][0]
         return float(self._k_const**self.penalty.homogeneity * next_iota)
 
     def expected_penalty(self) -> float:
@@ -141,20 +185,35 @@ class ProgressiveSession:
     # Control
     # ------------------------------------------------------------------
 
-    def advance(self, k: int = 1) -> int:
+    def advance(self, k: int = 1, deadline: float | None = None) -> int:
         """Retrieve the next ``k`` most important coefficients.
 
-        Returns how many were actually retrieved (less than ``k`` only when
-        the master list runs out).
+        Returns how many were actually retrieved (less than ``k`` when
+        the master list runs out, the ``deadline`` expires, or the store
+        abandons fetches).
+
+        ``deadline`` is a wall-clock budget in seconds for this call: no
+        new fetch is started once it has elapsed, so a slow store costs
+        latency, never correctness (the un-fetched keys simply stay
+        pending).  A fetch the store gives up on permanently
+        (:class:`~repro.storage.resilient.RetrievalError`) marks the key
+        skipped — see :meth:`retry_skipped` — instead of raising.
         """
         if k < 0:
             raise ValueError("k must be non-negative")
+        start = time.monotonic() if deadline is not None else 0.0
         done = 0
         while done < k and self._heap:
+            if deadline is not None and time.monotonic() - start >= deadline:
+                break
             neg_iota, key, pos = heapq.heappop(self._heap)
-            if self._retrieved[pos]:
+            if self._retrieved[pos] or self._skipped[pos]:
                 continue  # stale entry from a penalty switch or a delivery
-            coefficient = float(self.storage.store.fetch(np.array([key]))[0])
+            try:
+                coefficient = float(self.storage.store.fetch(np.array([key]))[0])
+            except RetrievalError:
+                self._mark_skipped(pos)
+                continue
             self._apply(pos, coefficient)
             done += 1
         return done
@@ -170,8 +229,48 @@ class ProgressiveSession:
         pos = self.key_position(key)
         if pos is None or self._retrieved[pos]:
             return False
+        if self._skipped[pos]:
+            # The key came back (e.g. another session's fetch succeeded
+            # after ours was abandoned): un-skip and apply normally.
+            self._unmark_skipped(pos)
         self._apply(pos, float(coefficient))
         return True
+
+    def skip(self, key: int) -> bool:
+        """Mark ``key`` unavailable (scheduler hook for abandoned fetches).
+
+        The key stays *unretrieved*: its importance remains in the
+        Theorem-1 bound mass, so :meth:`worst_case_bound` is still a
+        valid upper bound.  Returns True when the key was pending (False:
+        not in the master list, already held, or already skipped).
+        """
+        pos = self.key_position(key)
+        if pos is None or self._retrieved[pos] or self._skipped[pos]:
+            return False
+        self._mark_skipped(pos)
+        return True
+
+    def retry_skipped(self) -> int:
+        """Re-queue every skipped key for retrieval (the store recovered).
+
+        Returns the number of keys put back on the schedule.  The keys
+        re-enter the importance heap at their current importance, so the
+        continued run retrieves them exactly where Batch-Biggest-B would
+        have — degradation changes *when* a coefficient arrives, never
+        what the exhausted answers are.
+        """
+        positions = np.nonzero(self._skipped)[0]
+        if positions.size == 0:
+            return 0
+        self._skipped[:] = False
+        self._skipped_count = 0
+        self._skipped_max_iota = 0.0
+        for pos in positions.tolist():
+            heapq.heappush(
+                self._heap,
+                (-float(self._importance[pos]), int(self.plan.keys[pos]), int(pos)),
+            )
+        return int(positions.size)
 
     def set_penalty(self, penalty: Penalty) -> None:
         """Re-rank the remaining retrievals under a new penalty.
@@ -180,6 +279,9 @@ class ProgressiveSession:
         """
         self.penalty = penalty
         self._importance = self.plan.importance(penalty)
+        self._skipped_max_iota = (
+            float(self._importance[self._skipped].max()) if self._skipped_count else 0.0
+        )
         self._rebuild_heap()
 
     def run_until(
@@ -187,6 +289,7 @@ class ProgressiveSession:
         bound: float | None = None,
         predicate: Callable[[np.ndarray], bool] | None = None,
         max_steps: int | None = None,
+        deadline: float | None = None,
     ) -> int:
         """Advance until a stopping condition holds.
 
@@ -200,14 +303,21 @@ class ProgressiveSession:
             accuracy; called after every retrieval).
         max_steps:
             Hard cap on retrievals for this call.
+        deadline:
+            Wall-clock budget in seconds for this call: no new fetch is
+            started after it elapses.  A slow store then returns a
+            degraded-but-bounded answer instead of blocking.
 
         Returns the number of coefficients retrieved by this call.
         """
-        if bound is None and predicate is None and max_steps is None:
+        if bound is None and predicate is None and max_steps is None and deadline is None:
             raise ValueError("provide at least one stopping condition")
+        start = time.monotonic() if deadline is not None else 0.0
         done = 0
         while self._heap:
             if max_steps is not None and done >= max_steps:
+                break
+            if deadline is not None and time.monotonic() - start >= deadline:
                 break
             if bound is not None and self.worst_case_bound() <= bound:
                 break
@@ -232,6 +342,12 @@ class ProgressiveSession:
         independent batch evaluation regardless of delivery order.
         """
         if not self.is_exact:
+            if self.degraded:
+                raise ValueError(
+                    f"session is degraded: {self._skipped_count} keys "
+                    "unavailable; answers are bounded estimates "
+                    "(retry_skipped() once the store recovers)"
+                )
             raise ValueError("session is not exhausted; answers are estimates")
         return self.plan.exact_estimates(self._coefficients)
 
@@ -262,12 +378,28 @@ class ProgressiveSession:
                 worst_case_bound=self.worst_case_bound(),
             )
 
+    def _mark_skipped(self, pos: int) -> None:
+        self._skipped[pos] = True
+        self._skipped_count += 1
+        iota = float(self._importance[pos])
+        if iota > self._skipped_max_iota:
+            self._skipped_max_iota = iota
+
+    def _unmark_skipped(self, pos: int) -> None:
+        self._skipped[pos] = False
+        self._skipped_count -= 1
+        self._skipped_max_iota = (
+            float(self._importance[self._skipped].max()) if self._skipped_count else 0.0
+        )
+
     def _prune_heap(self) -> None:
-        while self._heap and self._retrieved[self._heap[0][2]]:
+        while self._heap and (
+            self._retrieved[self._heap[0][2]] or self._skipped[self._heap[0][2]]
+        ):
             heapq.heappop(self._heap)
 
     def _rebuild_heap(self) -> None:
-        pending = np.nonzero(~self._retrieved)[0]
+        pending = np.nonzero(~self._retrieved & ~self._skipped)[0]
         self._heap = [
             (-float(self._importance[pos]), int(self.plan.keys[pos]), int(pos))
             for pos in pending

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.session import ProgressiveSession
 from repro.obs import REGISTRY, MetricRegistry, span
+from repro.storage.resilient import RetrievalError
 
 #: Distinguishes scheduler instances inside the process-global registry.
 _INSTANCE_IDS = itertools.count()
@@ -60,6 +61,11 @@ class SchedulerMetrics:
     cache_deliveries:
         Deliveries served from the coefficient cache (no fetch at all:
         the key was retrieved for a session that is still live).
+    skipped_keys:
+        Keys the schedule marked unavailable after the store abandoned
+        their fetch (retries and circuit breaker exhausted).  Affected
+        sessions degrade — their Theorem-1 bounds stay valid — instead
+        of crashing the heap loop.
     """
 
     def __init__(self, registry: MetricRegistry, instance: str) -> None:
@@ -79,6 +85,11 @@ class SchedulerMetrics:
             "Deliveries served from the cross-session coefficient cache",
             ("scheduler",),
         )
+        self._skipped_keys = registry.counter(
+            "repro_scheduler_skipped_keys_total",
+            "Keys marked unavailable after the store abandoned their fetch",
+            ("scheduler",),
+        )
 
     @property
     def retrievals(self) -> int:
@@ -91,6 +102,10 @@ class SchedulerMetrics:
     @property
     def cache_deliveries(self) -> int:
         return int(self._cache_deliveries.value(scheduler=self._instance))
+
+    @property
+    def skipped_keys(self) -> int:
+        return int(self._skipped_keys.value(scheduler=self._instance))
 
     @property
     def shared_deliveries(self) -> int:
@@ -216,13 +231,14 @@ class SharedRetrievalScheduler:
                 return self._serve(key)
             return None
 
-    def advance_session(self, sid: int, k: int = 1) -> int:
+    def advance_session(self, sid: int, k: int = 1, deadline: float | None = None) -> int:
         """Run shared steps until session ``sid`` gains ``k`` coefficients.
 
         Other sessions receive every popped coefficient they need along
         the way — that is the point.  Returns the number of coefficients
-        the target session actually gained (less than ``k`` only at
-        exhaustion).
+        the target session actually gained (less than ``k`` at
+        exhaustion, when the remaining keys are unavailable, or once the
+        wall-clock ``deadline`` — seconds for this call — elapses).
         """
         if k < 0:
             raise ValueError("k must be non-negative")
@@ -231,6 +247,8 @@ class SharedRetrievalScheduler:
             session = self._registrations[sid].session
             start = session.steps_taken
             while session.steps_taken - start < k and not session.is_exact:
+                if deadline is not None and time.perf_counter() - t0 >= deadline:
+                    break
                 if self.step() is None:
                     break
             self._advance_seconds.observe(time.perf_counter() - t0)
@@ -260,10 +278,18 @@ class SharedRetrievalScheduler:
             coefficient = self._coefficients[key]
             fetched = False
         else:
-            with span("scheduler.fetch", key=key):
-                t0 = time.perf_counter()
-                coefficient = float(self.store.fetch(np.array([key]))[0])
-                self._fetch_seconds.observe(time.perf_counter() - t0)
+            try:
+                with span("scheduler.fetch", key=key):
+                    t0 = time.perf_counter()
+                    coefficient = float(self.store.fetch(np.array([key]))[0])
+                    self._fetch_seconds.observe(time.perf_counter() - t0)
+            except RetrievalError:
+                # The store gave up on this key (retries and breaker
+                # exhausted).  Mark it unavailable in every interested
+                # session — they degrade with a still-valid Theorem-1
+                # bound — and keep serving the rest of the schedule.
+                self._skip_key(key, instance)
+                return key
             self.metrics._retrievals.inc(scheduler=instance)
             fetched = True
             # Cache while any live session holds the key, so overlapping
@@ -284,6 +310,15 @@ class SharedRetrievalScheduler:
         if cache_deliveries:
             self.metrics._cache_deliveries.inc(cache_deliveries, scheduler=instance)
         return key
+
+    def _skip_key(self, key: int, instance: str) -> None:
+        skipped = 0
+        for sid in self._interest.get(key, ()):
+            reg = self._registrations.get(sid)
+            if reg is not None and reg.session.skip(key):
+                skipped += 1
+        if skipped:
+            self.metrics._skipped_keys.inc(scheduler=instance)
 
     def delivered_count(self, sid: int) -> int:
         """Coefficients delivered into session ``sid`` by this scheduler."""

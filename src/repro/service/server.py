@@ -47,9 +47,17 @@ class SessionSnapshot:
     steps_taken, remaining:
         Coefficients held / still pending for this batch.
     worst_case_bound:
-        Theorem-1 guarantee on the current estimates' penalty.
+        Theorem-1 guarantee on the current estimates' penalty.  Valid
+        even while ``degraded``: skipped coefficients stay in the bound
+        mass (see ``docs/RESILIENCE.md``).
     is_exact:
         True once the master list is exhausted.
+    degraded, skipped_count:
+        ``degraded`` is True while any of the batch's coefficients were
+        marked unavailable (store fetch abandoned after retries);
+        ``skipped_count`` says how many.  A degraded session can be
+        re-driven with :meth:`ProgressiveQueryService.retry_skipped`
+        once the store recovers.
     """
 
     session_id: str
@@ -58,6 +66,8 @@ class SessionSnapshot:
     remaining: int
     worst_case_bound: float
     is_exact: bool
+    degraded: bool = False
+    skipped_count: int = 0
 
 
 @dataclass(frozen=True)
@@ -89,6 +99,8 @@ class ServiceMetrics:
     sessions_submitted: int
     per_session_steps: dict[str, int] = field(default_factory=dict)
     page_cache: dict[str, int | float] | None = None
+    #: Keys the shared schedule marked unavailable (degraded sessions).
+    skipped_keys: int = 0
 
 
 class ProgressiveQueryService:
@@ -148,16 +160,19 @@ class ProgressiveQueryService:
             self._submit_seconds.observe(time.perf_counter() - t0)
             return session_id
 
-    def advance(self, session_id: str, k: int = 1) -> int:
+    def advance(self, session_id: str, k: int = 1, deadline: float | None = None) -> int:
         """Drive the shared schedule until this session gains ``k`` keys.
 
         Returns the number of coefficients the session actually gained;
         every other live session keeps the coefficients popped on the way.
+        ``deadline`` (wall-clock seconds for this call) caps how long a
+        slow store can hold the client: the call returns early with
+        whatever progress was made — latency degrades, correctness never.
         """
         with self._lock:
             t0 = time.perf_counter()
             _, sid = self._session(session_id)
-            gained = self.scheduler.advance_session(sid, k)
+            gained = self.scheduler.advance_session(sid, k, deadline=deadline)
             self._advance_seconds.observe(time.perf_counter() - t0)
             return gained
 
@@ -182,6 +197,8 @@ class ProgressiveQueryService:
                 remaining=session.remaining,
                 worst_case_bound=session.worst_case_bound(),
                 is_exact=session.is_exact,
+                degraded=session.degraded,
+                skipped_count=session.skipped_count,
             )
 
     def set_penalty(self, session_id: str, penalty: Penalty) -> None:
@@ -191,10 +208,32 @@ class ProgressiveQueryService:
             session.set_penalty(penalty)
             self.scheduler.reprioritize(sid)
 
+    def retry_skipped(self, session_id: str) -> int:
+        """Re-queue a degraded session's unavailable keys (store recovered).
+
+        Puts every skipped key back on the session's and the shared
+        schedule's heaps at its current importance; returns how many were
+        re-queued (0 for a healthy session).  The continued run retrieves
+        them exactly where Batch-Biggest-B would have, so the exhausted
+        answers are unaffected by the outage.
+        """
+        with self._lock:
+            session, sid = self._session(session_id)
+            requeued = session.retry_skipped()
+            if requeued:
+                self.scheduler.reprioritize(sid)
+            return requeued
+
     def cancel(self, session_id: str) -> None:
         """Close a session; its share of the coefficient cache is released
-        once no other live session holds the keys."""
+        once no other live session holds the keys.
+
+        Unknown or already-cancelled ids raise the same friendly
+        ``KeyError`` as every other session accessor — cancelling twice
+        is an error, not a crash with a raw ``KeyError``.
+        """
         with self._lock:
+            self._session(session_id)  # friendly error for unknown ids
             _, sid = self._sessions.pop(session_id)
             self.scheduler.deregister(sid)
 
@@ -245,6 +284,7 @@ class ProgressiveQueryService:
                 ),
                 per_session_steps=per_session,
                 page_cache=page_cache,
+                skipped_keys=m.skipped_keys,
             )
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ retrieval (:class:`~repro.storage.counter.CountingStore`).
 from repro.storage.base import KeyedVector, LinearStorage
 from repro.storage.blocks import BlockedStore, LruBuffer
 from repro.storage.counter import CountingStore, IOStatistics
+from repro.storage.faults import FaultInjectingStore, InjectedFault
 from repro.storage.identity import IdentityStorage
 from repro.storage.layout import LAYOUTS, layout_cost_table
 from repro.storage.local_prefix_sum import LocalPrefixSumStorage
@@ -31,6 +32,13 @@ from repro.storage.paged import (
 )
 from repro.storage.nonstandard_store import NonstandardWaveletStorage
 from repro.storage.prefix_sum import PrefixSumStorage
+from repro.storage.resilient import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientStore,
+    RetrievalError,
+    RetryPolicy,
+)
 from repro.storage.wavelet_store import WaveletStorage
 
 __all__ = [
@@ -38,7 +46,11 @@ __all__ = [
     "LinearStorage",
     "BlockedStore",
     "LruBuffer",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "CountingStore",
+    "FaultInjectingStore",
+    "InjectedFault",
     "IOStatistics",
     "IdentityStorage",
     "LAYOUTS",
@@ -48,6 +60,9 @@ __all__ = [
     "PageCacheStats",
     "PagedCoefficientStore",
     "PrefixSumStorage",
+    "ResilientStore",
+    "RetrievalError",
+    "RetryPolicy",
     "WaveletStorage",
     "write_paged_file",
 ]

@@ -25,9 +25,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.obs import span
+from repro.obs import REGISTRY, span
 from repro.queries.vector_query import VectorQuery
 from repro.storage.counter import CountingStore
+
+#: Per-future wall-clock budget for pooled factor computation; a worker
+#: that hangs past this degrades to in-process computation, not a stall.
+FACTOR_FUTURE_TIMEOUT = 120.0
+
+_POOL_FALLBACKS = REGISTRY.counter(
+    "repro_rewrite_pool_fallbacks_total",
+    "Rewrite batches that fell back to sequential factor computation, "
+    "by reason (spawn | broken | timeout | error)",
+    ("reason",),
+)
 
 
 @dataclass(frozen=True)
@@ -98,8 +109,12 @@ class LinearStorage(ABC):
         returns ``None``) simply rewrite sequentially.
 
         The pool is an optimization, never a semantic switch: if worker
-        processes cannot be spawned (restricted sandboxes), the batch falls
-        back to the sequential path and produces identical rewrites.
+        processes cannot be spawned (restricted sandboxes), crash mid-run
+        (``BrokenProcessPool``), or hang past the per-future timeout, the
+        batch falls back to sequential computation — mid-run, keeping any
+        factors already computed — and produces identical rewrites.  Every
+        fallback increments the ``repro_rewrite_pool_fallbacks_total``
+        warning counter.
         """
         queries = list(queries)
         with span(
@@ -119,7 +134,9 @@ class LinearStorage(ABC):
         """
         return None
 
-    def _precompute_factors(self, queries, workers: int) -> None:
+    def _precompute_factors(
+        self, queries, workers: int, future_timeout: float | None = None
+    ) -> None:
         from repro.wavelets import query_transform as _qt
 
         specs = self._rewrite_factor_specs(queries)
@@ -129,22 +146,55 @@ class LinearStorage(ABC):
         if len(distinct) < 2:
             return
         import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
 
+        timeout = FACTOR_FUTURE_TIMEOUT if future_timeout is None else future_timeout
         with span(
             "rewrite.precompute_factors", distinct=len(distinct), workers=workers
         ):
             try:
-                with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers
-                ) as pool:
-                    chunk = max(1, len(distinct) // (workers * 4))
-                    results = list(
-                        pool.map(_qt.compute_factor, distinct, chunksize=chunk)
-                    )
+                pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
             except (OSError, PermissionError, RuntimeError):
                 # No subprocesses available here; the sequential path below
                 # computes (and memoizes) every factor with identical results.
+                _POOL_FALLBACKS.inc(reason="spawn")
                 return
+            results: list[tuple] = []
+            try:
+                try:
+                    futures = [
+                        pool.submit(_qt.compute_factor, spec) for spec in distinct
+                    ]
+                except (OSError, PermissionError, RuntimeError):
+                    _POOL_FALLBACKS.inc(reason="spawn")
+                    return
+                # Collect per-future with a timeout: a crashed pool
+                # (BrokenProcessPool) or a hung worker degrades to
+                # computing the *remaining* factors in-process mid-run —
+                # completed results are kept, the rewrites are identical
+                # either way.
+                remaining: list[tuple] | None = None
+                for i, future in enumerate(futures):
+                    try:
+                        results.append(future.result(timeout=timeout))
+                    except BrokenProcessPool:
+                        _POOL_FALLBACKS.inc(reason="broken")
+                        remaining = distinct[i:]
+                        break
+                    except concurrent.futures.TimeoutError:
+                        _POOL_FALLBACKS.inc(reason="timeout")
+                        remaining = distinct[i:]
+                        break
+                    except OSError:
+                        _POOL_FALLBACKS.inc(reason="error")
+                        remaining = distinct[i:]
+                        break
+                if remaining is not None:
+                    for future in futures:
+                        future.cancel()
+                    results.extend(_qt.compute_factor(spec) for spec in remaining)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
             _qt.seed_factors(results)
 
     # ------------------------------------------------------------------

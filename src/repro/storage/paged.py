@@ -236,6 +236,7 @@ class PagedCoefficientStore:
         """Retrieve values for ``keys`` (counted), through the buffer pool."""
         keys = self._check_keys(keys)
         with self._lock:
+            self._require_open()
             values = self._gather(keys)
             self.stats.record(keys, values)
         return values
@@ -244,6 +245,7 @@ class PagedCoefficientStore:
         """Read values without counting retrievals or touching the pool."""
         keys = self._check_keys(keys)
         with self._lock:
+            self._require_open()
             return self._mm[keys].astype(np.float64, copy=True)
 
     def add(self, keys: np.ndarray, deltas: np.ndarray) -> None:
@@ -271,6 +273,7 @@ class PagedCoefficientStore:
     def as_dense(self) -> np.ndarray:
         """Materialize the full value vector (tests and inverses only)."""
         with self._lock:
+            self._require_open()
             return np.asarray(
                 self._mm[: self.key_space_size], dtype=np.float64
             ).copy()
@@ -291,13 +294,27 @@ class PagedCoefficientStore:
             self._pool.clear()
 
     def close(self) -> None:
-        """Release the memmap.  Reads after close are invalid."""
+        """Release the memmap; idempotent.
+
+        Reads after close raise ``ValueError("store is closed")`` instead
+        of an opaque ``TypeError`` from the dropped memmap.
+        """
         with self._lock:
             self._pool.clear()
             mm = self._mm
             self._mm = None
             if mm is not None and hasattr(mm, "_mmap"):
                 mm._mmap.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the memmap."""
+        with self._lock:
+            return self._mm is None
+
+    def _require_open(self) -> None:
+        if self._mm is None:
+            raise ValueError("store is closed")
 
     def __enter__(self) -> "PagedCoefficientStore":
         return self

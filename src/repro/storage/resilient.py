@@ -1,0 +1,351 @@
+"""Fault-tolerant coefficient retrieval: retries and circuit breaking.
+
+The progressive engine's promise is that a partially evaluated batch is a
+*useful* answer with a provable Theorem-1 bound.  That promise is only as
+good as the store underneath it: a paged memmap tier can hit a transient
+``OSError``, a remote shard can go dark.  :class:`ResilientStore` wraps
+any :class:`~repro.storage.counter.CountingStore` duck type with the two
+standard availability mechanisms:
+
+* a :class:`RetryPolicy` — bounded exponential backoff with a per-fetch
+  wall-clock deadline, so transient faults are absorbed without changing
+  a single answer (retried fetches return identical coefficients, so the
+  progressive step order is bit-reproducible);
+* a closed/open/half-open :class:`CircuitBreaker` — after enough
+  *exhausted* fetches (retries included) the breaker opens and further
+  fetches fail fast instead of hammering a dying store; after
+  ``reset_timeout`` a half-open probe decides whether to close again.
+
+When both mechanisms give up, the store raises :class:`RetrievalError`.
+That exception is the contract with the layers above: the shared
+scheduler and :class:`~repro.core.session.ProgressiveSession` catch it,
+mark the key *skipped* (not retrieved), and keep serving — the skipped
+coefficient stays in the Theorem-1 bound mass, so every degraded snapshot
+still carries a valid worst-case guarantee (see ``docs/RESILIENCE.md``).
+
+Retry, failure and breaker-state telemetry is registered in the
+:mod:`repro.obs` registry (``repro_resilient_*`` series) and therefore
+shows up in ``repro metrics`` and the ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.obs import REGISTRY, MetricRegistry, span
+
+#: Distinguishes resilient-store instances inside the process-global registry.
+_INSTANCE_IDS = itertools.count()
+
+#: Breaker-state gauge encoding (documented in docs/OBSERVABILITY.md).
+BREAKER_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class RetrievalError(RuntimeError):
+    """A coefficient fetch failed permanently (retries/breaker exhausted).
+
+    Attributes
+    ----------
+    keys:
+        The keys the failed fetch asked for (list of ints, possibly empty
+        when unknown).
+    attempts:
+        How many attempts were made before giving up (0 for a fail-fast
+        rejection by an open circuit breaker).
+    """
+
+    def __init__(self, message: str, keys=(), attempts: int = 0) -> None:
+        super().__init__(message)
+        self.keys = [int(k) for k in keys]
+        self.attempts = int(attempts)
+
+
+class CircuitOpenError(RetrievalError):
+    """Fail-fast rejection: the circuit breaker is open."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for coefficient fetches.
+
+    The delay before retry ``n`` (1-based) is
+    ``min(max_delay, base_delay * multiplier ** (n - 1))`` — deliberately
+    jitter-free so chaos runs replay deterministically.  ``deadline``
+    bounds the *whole* fetch (attempts plus sleeps) in wall-clock
+    seconds; when the next backoff would overshoot it, the fetch gives up
+    immediately instead of sleeping past the budget.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    deadline: float | None = None
+    #: Exception types worth retrying; everything else propagates raw.
+    retryable: tuple[type[BaseException], ...] = (OSError, TimeoutError)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1:
+            raise ValueError("delays must be >= 0 and multiplier >= 1")
+
+    def delay(self, retry: int) -> float:
+        """Backoff before the ``retry``-th retry (1-based)."""
+        if retry < 1:
+            raise ValueError("retry is 1-based")
+        return min(self.max_delay, self.base_delay * self.multiplier ** (retry - 1))
+
+
+class CircuitBreaker:
+    """A closed/open/half-open breaker over whole resilient fetches.
+
+    One *failure* is one fetch that exhausted its retry policy — the
+    breaker sits outside the retry loop, so a store that recovers within
+    a fetch's retries never trips it.  After ``failure_threshold``
+    consecutive failures the breaker opens; ``allow()`` then rejects
+    until ``reset_timeout`` seconds pass, at which point the breaker
+    goes half-open and admits probe calls whose outcome decides between
+    closing (success) and re-opening (failure).
+
+    ``clock`` is injectable so tests can drive the state machine without
+    real waiting.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self.on_transition = on_transition
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """The current state, accounting for open->half-open expiry."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._set_state(self.HALF_OPEN)
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def allow(self) -> bool:
+        """True when a fetch may proceed (closed, or a half-open probe)."""
+        return self.state != self.OPEN
+
+    def record_success(self) -> None:
+        self._failures = 0
+        if self._state != self.CLOSED:
+            self._set_state(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._state == self.HALF_OPEN or self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            if self._state != self.OPEN:
+                self._set_state(self.OPEN)
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        if self.on_transition is not None:
+            self.on_transition(state)
+
+
+class ResilientStore:
+    """Retry + circuit-breaker wrapper around a coefficient store.
+
+    Quacks like a :class:`~repro.storage.counter.CountingStore` on the
+    read path; aggregates, stats and writes delegate to the wrapped
+    store.  ``sleep``/``clock`` are injectable so chaos tests run at
+    full speed with zero-delay policies.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        registry: MetricRegistry | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.registry = REGISTRY if registry is None else registry
+        self._sleep = sleep
+        self._clock = clock
+        self._instance = str(next(_INSTANCE_IDS))
+        self._retries = self.registry.counter(
+            "repro_resilient_retries_total",
+            "Fetch attempts retried after a transient store failure",
+            ("store",),
+        )
+        self._failures = self.registry.counter(
+            "repro_resilient_fetch_failures_total",
+            "Fetches abandoned permanently, by reason "
+            "(exhausted | deadline | circuit_open)",
+            ("store", "reason"),
+        )
+        self._transitions = self.registry.counter(
+            "repro_resilient_breaker_transitions_total",
+            "Circuit breaker state transitions, by entered state",
+            ("store", "state"),
+        )
+        self._state_gauge = self.registry.gauge(
+            "repro_resilient_breaker_state",
+            "Circuit breaker state (0=closed, 1=half_open, 2=open)",
+            ("store",),
+        )
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker(clock=clock)
+        )
+        self.breaker.on_transition = self._on_breaker_transition
+        self._state_gauge.set(
+            BREAKER_STATE_VALUES[self.breaker.state], store=self._instance
+        )
+
+    # ------------------------------------------------------------------
+    # Reads (the CountingStore duck type)
+    # ------------------------------------------------------------------
+
+    def fetch(self, keys: np.ndarray) -> np.ndarray:
+        """Retrieve ``keys`` with retries behind the circuit breaker.
+
+        Raises :class:`RetrievalError` (or its :class:`CircuitOpenError`
+        subclass) when the fetch is abandoned; any non-retryable
+        exception from the wrapped store propagates unchanged.
+        """
+        key_list = np.asarray(keys, dtype=np.int64).ravel().tolist()
+        if not self.breaker.allow():
+            self._failures.inc(store=self._instance, reason="circuit_open")
+            raise CircuitOpenError(
+                f"circuit breaker is open; rejecting fetch of {len(key_list)} keys",
+                keys=key_list,
+            )
+        policy = self.policy
+        start = self._clock()
+        attempt = 0
+        with span("resilient.fetch", keys=len(key_list)):
+            while True:
+                attempt += 1
+                try:
+                    values = self.inner.fetch(keys)
+                except policy.retryable as exc:
+                    if attempt >= policy.max_attempts:
+                        self._give_up("exhausted")
+                        raise RetrievalError(
+                            f"fetch failed after {attempt} attempts: {exc}",
+                            keys=key_list,
+                            attempts=attempt,
+                        ) from exc
+                    delay = policy.delay(attempt)
+                    if (
+                        policy.deadline is not None
+                        and self._clock() - start + delay > policy.deadline
+                    ):
+                        self._give_up("deadline")
+                        raise RetrievalError(
+                            f"fetch deadline of {policy.deadline}s exhausted "
+                            f"after {attempt} attempts: {exc}",
+                            keys=key_list,
+                            attempts=attempt,
+                        ) from exc
+                    self._retries.inc(store=self._instance)
+                    self._sleep(delay)
+                else:
+                    self.breaker.record_success()
+                    return values
+
+    def peek(self, keys: np.ndarray) -> np.ndarray:
+        """Uncounted read, passed straight through (the oracle path)."""
+        return self.inner.peek(keys)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def breaker_state(self) -> str:
+        return self.breaker.state
+
+    def retry_count(self) -> int:
+        return int(self._retries.value(store=self._instance))
+
+    def failure_count(self, reason: str) -> int:
+        return int(self._failures.value(store=self._instance, reason=reason))
+
+    # ------------------------------------------------------------------
+    # Delegation (aggregates, stats, writes, lifecycle)
+    # ------------------------------------------------------------------
+
+    @property
+    def key_space_size(self) -> int:
+        return self.inner.key_space_size
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def version(self):
+        return getattr(self.inner, "version", None)
+
+    def add(self, keys, deltas) -> None:
+        self.inner.add(keys, deltas)
+
+    def total_l1(self) -> float:
+        return self.inner.total_l1()
+
+    def total_l2_squared(self) -> float:
+        return self.inner.total_l2_squared()
+
+    def nonzero_count(self) -> int:
+        return self.inner.nonzero_count()
+
+    def as_dense(self) -> np.ndarray:
+        return self.inner.as_dense()
+
+    def reset_stats(self) -> None:
+        self.inner.reset_stats()
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _give_up(self, reason: str) -> None:
+        self._failures.inc(store=self._instance, reason=reason)
+        self.breaker.record_failure()
+
+    def _on_breaker_transition(self, state: str) -> None:
+        self._transitions.inc(store=self._instance, state=state)
+        self._state_gauge.set(BREAKER_STATE_VALUES[state], store=self._instance)

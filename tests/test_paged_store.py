@@ -136,6 +136,31 @@ class TestLruPool:
         assert paged.buffered_pages == 0
 
 
+class TestClose:
+    def test_reads_after_close_raise_clear_error(self, paged):
+        paged.close()
+        with pytest.raises(ValueError, match="store is closed"):
+            paged.fetch(np.array([0]))
+        with pytest.raises(ValueError, match="store is closed"):
+            paged.peek(np.array([0]))
+        with pytest.raises(ValueError, match="store is closed"):
+            paged.as_dense()
+
+    def test_close_is_idempotent(self, paged):
+        assert not paged.closed
+        paged.close()
+        assert paged.closed
+        paged.close()  # second close is a no-op, not an error
+        assert paged.closed
+
+    def test_context_manager_closes(self, values, tmp_path):
+        with PagedCoefficientStore.from_dense(
+            values, tmp_path / "cm.pages", page_size=64
+        ) as store:
+            assert not store.closed
+        assert store.closed
+
+
 class TestThreadSafety:
     def test_concurrent_fetches_are_consistent(self, values, tmp_path):
         store = PagedCoefficientStore.from_dense(

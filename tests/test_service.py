@@ -116,6 +116,26 @@ class TestLifecycle:
         with pytest.raises(KeyError):
             service.advance("s99", 1)
 
+    def test_cancel_unknown_session_friendly_error(self, storage):
+        service = ProgressiveQueryService(storage)
+        with pytest.raises(KeyError, match="unknown or cancelled session"):
+            service.cancel("s99")
+
+    def test_double_cancel_friendly_error(self, storage, batches):
+        service = ProgressiveQueryService(storage)
+        session_id = service.submit(batches[0])
+        service.cancel(session_id)
+        with pytest.raises(KeyError, match="unknown or cancelled session"):
+            service.cancel(session_id)
+
+    def test_snapshot_reports_healthy_sessions_undegraded(self, storage, batches):
+        service = ProgressiveQueryService(storage)
+        session_id = service.submit(batches[0])
+        service.advance(session_id, 5)
+        snapshot = service.poll(session_id)
+        assert snapshot.degraded is False and snapshot.skipped_count == 0
+        assert service.retry_skipped(session_id) == 0
+
     def test_metrics_per_session_steps(self, storage, batches):
         service = ProgressiveQueryService(storage)
         a = service.submit(batches[0])
