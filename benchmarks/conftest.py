@@ -26,6 +26,7 @@ import pytest
 from repro.core.batch import BatchBiggestB
 from repro.core.penalties import SsePenalty
 from repro.data.synthetic import temperature_dataset
+from repro.obs import LEDGER, REGISTRY, get_recorder
 from repro.queries.workload import partition_sum_batch
 from repro.storage.wavelet_store import WaveletStorage
 from repro.wavelets.query_transform import clear_cache
@@ -81,10 +82,14 @@ def section6() -> Section6Setup:
 
 @pytest.fixture(autouse=True)
 def fresh_rewrite_caches():
-    """Drop every rewrite-path memo (dense oracle and sparse cascade) before
-    each trial, so no bench inherits another's warm factor cache and timings
-    stay comparable across runs."""
+    """Drop every rewrite-path memo (dense oracle and sparse cascade) and
+    zero the telemetry state (metric samples, trace ring, cost ledger)
+    before each trial, so no bench inherits another's warm caches or
+    counters and timings stay comparable across runs."""
     clear_cache()
+    REGISTRY.reset()
+    get_recorder().clear()
+    LEDGER.reset()
     yield
 
 

@@ -22,6 +22,7 @@ Chrome-``chrome://tracing`` span trace of the whole pipeline,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 import threading
@@ -175,18 +176,79 @@ def _finish_trace(args: argparse.Namespace) -> None:
     print(f"wrote {spans} spans to {args.trace_out} (chrome://tracing format)")
 
 
+def _start_profile(args: argparse.Namespace):
+    """Start the sampling profiler when the subcommand got ``--profile-out``."""
+    if getattr(args, "profile_out", None) is None:
+        return None
+    profiler = obs.SamplingProfiler(
+        interval=args.profile_interval, mode=args.profile_mode
+    )
+    profiler.start()
+    return profiler
+
+
+def _finish_profile(args: argparse.Namespace, profiler) -> None:
+    profiler.stop()
+    samples = profiler.export(args.profile_out)
+    print(
+        f"wrote {samples} profile samples to {args.profile_out} "
+        "(collapsed stacks; feed to flamegraph.pl or speedscope)"
+    )
+
+
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile-out", default=None, dest="profile_out",
+                        help="sample the run and write collapsed flamegraph "
+                        "stacks to this path")
+    parser.add_argument("--profile-interval", type=float, default=0.005,
+                        dest="profile_interval",
+                        help="seconds between profiler samples")
+    parser.add_argument("--profile-mode", choices=["thread", "signal"],
+                        default="thread", dest="profile_mode",
+                        help="thread: all threads, wall-clock sampling; "
+                        "signal: main thread only, CPU-time sampling")
+
+
+def _print_cost_table(report: dict) -> None:
+    state = "exact" if report["is_exact"] else "progressive"
+    print(
+        f"session {report['session_id']}: {report['queries']} queries | "
+        f"master list {report['master_keys']:,} | "
+        f"steps {report['steps_taken']:,} | {state}"
+    )
+    if report["stages"]:
+        print(f"  {'stage':<10} {'calls':>7} {'wall':>10} {'cpu':>10}")
+        for name, cell in report["stages"].items():
+            print(
+                f"  {name:<10} {cell['calls']:>7,} "
+                f"{cell['wall_s'] * 1e3:>8.1f}ms {cell['cpu_s'] * 1e3:>8.1f}ms"
+            )
+    c = report["counters"]
+    print(
+        f"  counters: {c['retrievals']:,} retrievals "
+        f"({c['bytes_fetched']:,} B), {c['cache_hits']:,} cache hits, "
+        f"{c['deliveries']:,} deliveries, {c['retries']:,} retries, "
+        f"{c['skipped_keys']:,} skipped"
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     tracing = _start_trace(args)
+    profiler = _start_profile(args)
     relation = _build_relation(args)
     delta = relation.frequency_distribution()
     storage = WaveletStorage.build(delta, wavelet=args.wavelet)
     batch = _build_batch(relation, args)
     penalty = _build_penalty(args.penalty, batch.size)
-    evaluator = BatchBiggestB(storage, batch, penalty=penalty)
+    evaluator = BatchBiggestB(
+        storage, batch, penalty=penalty, workers=args.workers
+    )
     exact = batch.exact_dense(delta)
     master = evaluator.master_list_size
     budgets = sorted({min(args.budget, master), master})
     _, snaps = evaluator.run_progressive(budgets)
+    if profiler is not None:
+        _finish_profile(args, profiler)
     if tracing:
         _finish_trace(args)
     print(f"batch: {batch.size} queries | master list: {master:,} | "
@@ -196,6 +258,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         mre = mean_relative_error(snap, exact)
         print(f"after {b:>8,} retrievals: mean relative error {mre:.3e}, "
               f"Thm-1 bound {evaluator.worst_case_bound(int(b)):.3e}")
+    stage_totals = evaluator.costs.stage_totals()
+    if stage_totals:
+        cost_line = " | ".join(
+            f"{name} {cell['wall_s'] * 1e3:.1f}ms"
+            for name, cell in stage_totals.items()
+        )
+        print(
+            f"cost: {cost_line} | {evaluator.costs.retrievals:,} retrievals "
+            f"({evaluator.costs.bytes_fetched:,} B)"
+        )
     ok = np.allclose(snaps[-1], exact, rtol=1e-7, atol=1e-6)
     print(f"exact at exhaustion: {ok}")
     return 0 if ok else 1
@@ -204,6 +276,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_serve_demo(args: argparse.Namespace) -> int:
     """N concurrent dashboards against one service: the sharing payoff."""
     tracing = _start_trace(args)
+    profiler = _start_profile(args)
     metrics_server = None
     if args.metrics_port is not None:
         metrics_server = obs.start_metrics_server(obs.REGISTRY, port=args.metrics_port)
@@ -283,7 +356,7 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
         session_ids: dict[int, str] = {}
 
         def client(idx: int) -> None:
-            session_id = service.submit(batches[idx])
+            session_id = service.submit(batches[idx], workers=args.workers)
             session_ids[idx] = session_id
             # Degradation-aware loop: advance() gaining nothing means the
             # remaining keys are unavailable — take the bounded answer.
@@ -364,6 +437,15 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
                     f"  client {i}: degraded, {snap.skipped_count} keys "
                     f"unavailable, Thm-1 bound {snap.worst_case_bound:.3e}"
                 )
+        report = service.cost_report(session_ids[0])
+        if report["stages"]:
+            cost_line = " | ".join(
+                f"{name} {cell['wall_s'] * 1e3:.1f}ms"
+                for name, cell in report["stages"].items()
+            )
+            print(f"cost (client 0): {cost_line}")
+        if profiler is not None:
+            _finish_profile(args, profiler)
         if tracing:
             _finish_trace(args)
         verdict = "exact or degraded-but-bounded" if chaos else "exact"
@@ -404,6 +486,78 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cost(args: argparse.Namespace) -> int:
+    """Run a small shared-service workload and print the cost ledger.
+
+    The per-session counterpart of the ``metrics`` subcommand: two
+    overlapping partition batches drive the service, then each session's
+    cost report — stage wall/CPU timings plus resource counters — is
+    printed as a table (or the whole ledger as JSON).
+    """
+    relation = _build_relation(args)
+    storage = WaveletStorage.build(
+        relation.frequency_distribution(), wavelet=args.wavelet
+    )
+    service = ProgressiveQueryService(storage)
+    session_ids = []
+    for seed in (args.seed + 1, args.seed + 2):
+        rng = np.random.default_rng(seed)
+        batch = partition_count_batch(
+            relation.shape, args.cells, rng=rng, min_width=args.min_width
+        )
+        session_id = service.submit(batch)
+        service.run_to_completion(session_id)
+        session_ids.append(session_id)
+    if args.format == "json":
+        print(json.dumps(
+            {sid: service.cost_report(sid) for sid in session_ids},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for session_id in session_ids:
+            _print_cost_table(service.cost_report(session_id))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the continuous benchmark scenarios and gate against baselines."""
+    from repro.obs import bench
+
+    trials = min(2, args.trials) if args.smoke else args.trials
+    documents = bench.run_all(seed=args.seed, trials=trials)
+    problems: list[str] = []
+    for family, doc in documents.items():
+        problems.extend(f"{family}: {p}" for p in bench.validate(doc))
+    for path in bench.write_bench(args.out_dir, documents):
+        print(f"wrote {path}")
+    if problems:
+        for problem in problems:
+            print(f"SCHEMA ERROR: {problem}", file=sys.stderr)
+        return 1
+    if args.baseline_dir is None:
+        print("no --baseline-dir given; regression gate skipped")
+        return 0
+    regressions: list[str] = []
+    for family, doc in documents.items():
+        baseline = bench.load_baseline(args.baseline_dir, family)
+        if baseline is None:
+            print(
+                f"no committed baseline for {family!r} in "
+                f"{args.baseline_dir}; gate skipped for this family"
+            )
+            continue
+        regressions.extend(
+            f"{family}: {p}"
+            for p in bench.compare(doc, baseline, tolerance=args.tolerance)
+        )
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        return 1
+    print(f"regression gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -433,6 +587,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="progressive checkpoint (retrievals)")
     p_run.add_argument("--trace-out", default=None, dest="trace_out",
                        help="write a chrome://tracing span trace to this path")
+    p_run.add_argument("--workers", type=_positive_int, default=None,
+                       help="compute distinct rewrite factors on a process "
+                       "pool of this size (>1 to parallelize)")
+    _add_profile_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_serve = sub.add_parser(
@@ -470,6 +628,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-attempts", type=_positive_int, default=8,
                          dest="max_attempts",
                          help="retry budget per fetch under --fault-rate")
+    p_serve.add_argument("--workers", type=_positive_int, default=None,
+                         help="compute distinct rewrite factors on a process "
+                         "pool of this size at submit (>1 to parallelize)")
+    _add_profile_args(p_serve)
     p_serve.set_defaults(func=cmd_serve_demo)
 
     p_metrics = sub.add_parser(
@@ -485,6 +647,38 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_metrics, dataset="uniform", shape=(16, 16),
         records=2000, cells=(2, 2),
     )
+
+    p_cost = sub.add_parser(
+        "cost",
+        help="run a small workload and print per-session cost reports",
+    )
+    _add_common(p_cost)
+    _add_batch_args(p_cost)
+    p_cost.add_argument("--format", choices=["table", "json"],
+                        default="table",
+                        help="per-session tables or the raw ledger JSON")
+    p_cost.set_defaults(
+        func=cmd_cost, dataset="uniform", shape=(16, 16),
+        records=2000, cells=(2, 2),
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the continuous benchmark scenarios and write BENCH JSON",
+    )
+    p_bench.add_argument("--out-dir", default=".", dest="out_dir",
+                         help="directory for BENCH_*.json (default: cwd)")
+    p_bench.add_argument("--baseline-dir", default=None, dest="baseline_dir",
+                         help="directory holding committed BENCH_*.json "
+                         "baselines; enables the regression gate")
+    p_bench.add_argument("--tolerance", type=float, default=0.5,
+                         help="allowed normalized-wall slowdown vs baseline")
+    p_bench.add_argument("--trials", type=_positive_int, default=3,
+                         help="timing trials per scenario (best taken)")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="quick two-trial mode (CI)")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -33,7 +33,8 @@ import numpy as np
 
 from repro.core.penalties import Penalty, SsePenalty
 from repro.core.plan import QueryPlan
-from repro.obs import span
+from repro.obs import CostAccount, span
+from repro.obs.ledger import activate as _charge_to
 from repro.queries.vector_query import QueryBatch
 from repro.storage.base import LinearStorage
 from repro.storage.resilient import RetrievalError
@@ -79,26 +80,34 @@ class BatchBiggestB:
         self.storage = storage
         self.batch = batch
         self.penalty = penalty if penalty is not None else SsePenalty()
+        #: Per-evaluation cost attribution (stage timings + counters).
+        self.costs = CostAccount(owner="batch", queries=batch.size)
         # Steps 1-3 of Figure 1: rewrite each query, merge into a master
         # list.  Callers evaluating one batch under several penalties can
         # pass the rewrites/plan of a previous evaluator to skip this work
-        # (only the importance ordering depends on the penalty).
+        # (only the importance ordering depends on the penalty) — the
+        # skipped stages then cost this account nothing, which is the
+        # point of passing them in.
         # ``workers > 1`` computes the batch's distinct per-dimension
         # rewrite factors on a process pool (see LinearStorage.rewrite_batch).
-        self.rewrites = (
-            rewrites
-            if rewrites is not None
-            else storage.rewrite_batch(batch, workers=workers)
-        )
+        if rewrites is not None:
+            self.rewrites = rewrites
+        else:
+            with self.costs.stage("rewrite"):
+                self.rewrites = storage.rewrite_batch(batch, workers=workers)
         if len(self.rewrites) != batch.size:
             raise ValueError("rewrites must match the batch size")
-        self.plan = plan if plan is not None else QueryPlan.from_rewrites(self.rewrites)
-        if self.plan.batch_size != batch.size:
-            raise ValueError("plan must match the batch size")
-        # Step 4: importance of every master key, and the biggest-B order.
-        self.importance = self.plan.importance(self.penalty)
-        self.order = np.lexsort((self.plan.keys, -self.importance))
-        self._sorted_importance = self.importance[self.order]
+        with self.costs.stage("plan"):
+            if plan is not None:
+                self.plan = plan
+            else:
+                self.plan = QueryPlan.from_rewrites(self.rewrites)
+            if self.plan.batch_size != batch.size:
+                raise ValueError("plan must match the batch size")
+            # Step 4: importance of every master key, biggest-B order.
+            self.importance = self.plan.importance(self.penalty)
+            self.order = np.lexsort((self.plan.keys, -self.importance))
+            self._sorted_importance = self.importance[self.order]
 
     # ------------------------------------------------------------------
     # Sizes (Observation 1's accounting)
@@ -123,12 +132,15 @@ class BatchBiggestB:
 
         Retrieves every master-list key exactly once, in importance order.
         """
-        with span("batch.run", keys=self.plan.num_keys):
+        with span("batch.run", keys=self.plan.num_keys), _charge_to(self.costs):
             ordered_keys = self.plan.keys[self.order]
-            fetched = self.storage.store.fetch(ordered_keys)
-            coeff_by_pos = np.empty(self.plan.num_keys)
-            coeff_by_pos[self.order] = fetched
-            return self.plan.exact_estimates(coeff_by_pos)
+            with self.costs.stage("fetch"):
+                fetched = self.storage.store.fetch(ordered_keys)
+            self.costs.add(retrievals=int(ordered_keys.size))
+            with self.costs.stage("apply"):
+                coeff_by_pos = np.empty(self.plan.num_keys)
+                coeff_by_pos[self.order] = fetched
+                return self.plan.exact_estimates(coeff_by_pos)
 
     # ------------------------------------------------------------------
     # Progressive evaluation
@@ -172,7 +184,12 @@ class BatchBiggestB:
         # Step 5: extract the maxima, retrieve chunked, advance each query.
         while heap:
             chunk = [heapq.heappop(heap) for _ in range(min(readahead, len(heap)))]
-            with span("batch.fetch", keys=len(chunk)):
+            requested = len(chunk)
+            # The active-account binding covers only the fetch calls (a
+            # generator must not leave a thread-local bound across yields);
+            # resilient-store retries inside the fetch still land here.
+            with span("batch.fetch", keys=requested), _charge_to(self.costs), \
+                    self.costs.stage("fetch"):
                 try:
                     coefficients = self.storage.store.fetch(
                         np.array([key for _, key, _ in chunk], dtype=np.int64)
@@ -193,12 +210,16 @@ class BatchBiggestB:
                         kept.append(entry)
                         coefficients.append(value)
                     chunk = kept
+            self.costs.add(
+                retrievals=len(chunk), skipped_keys=requested - len(chunk)
+            )
             for (neg_iota, key, pos), coefficient in zip(chunk, coefficients):
                 coefficient = float(coefficient)
-                segment = entry_order[offsets[pos] : offsets[pos + 1]]
-                qids = self.plan.entry_qid[segment]
-                vals = self.plan.entry_val[segment]
-                np.add.at(estimates, qids, vals * coefficient)
+                with self.costs.stage("apply"):
+                    segment = entry_order[offsets[pos] : offsets[pos + 1]]
+                    qids = self.plan.entry_qid[segment]
+                    vals = self.plan.entry_val[segment]
+                    np.add.at(estimates, qids, vals * coefficient)
                 step += 1
                 yield ProgressiveStep(
                     step=step,
@@ -243,9 +264,11 @@ class BatchBiggestB:
         else:
             with span(
                 "batch.run_progressive.materialize", keys=self.plan.num_keys
-            ):
+            ), _charge_to(self.costs):
                 ordered_keys = self.plan.keys[self.order]
-                fetched = self.storage.store.fetch(ordered_keys)
+                with self.costs.stage("fetch"):
+                    fetched = self.storage.store.fetch(ordered_keys)
+                self.costs.add(retrievals=int(ordered_keys.size))
                 coeff_by_pos = np.empty(self.plan.num_keys)
                 coeff_by_pos[self.order] = fetched
                 rank = np.empty(self.plan.num_keys, dtype=np.int64)

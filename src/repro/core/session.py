@@ -42,8 +42,9 @@ import numpy as np
 
 from repro.core.penalties import Penalty, SsePenalty
 from repro.core.plan import QueryPlan
-from repro.obs import ConvergenceLog
+from repro.obs import ConvergenceLog, CostAccount
 from repro.obs import enabled as _telemetry_enabled
+from repro.obs.ledger import activate as _charge_to
 from repro.queries.vector_query import QueryBatch
 from repro.storage.base import LinearStorage
 from repro.storage.resilient import RetrievalError
@@ -63,10 +64,15 @@ class ProgressiveSession:
         self.storage = storage
         self.batch = batch
         self.penalty = penalty if penalty is not None else SsePenalty()
+        #: Per-session cost attribution: stage timings plus resource
+        #: counters, itemized in ``docs/OBSERVABILITY.md``.
+        self.costs = CostAccount(owner="session", queries=batch.size)
         # ``workers > 1`` parallelizes the rewrite front end (the distinct
         # per-dimension factors) without changing the resulting plan.
-        self.rewrites = storage.rewrite_batch(batch, workers=workers)
-        self.plan = QueryPlan.from_rewrites(self.rewrites)
+        with self.costs.stage("rewrite"):
+            self.rewrites = storage.rewrite_batch(batch, workers=workers)
+        with self.costs.stage("plan"):
+            self.plan = QueryPlan.from_rewrites(self.rewrites)
         self.estimates = np.zeros(batch.size)
         #: Bounded ring of ``(B, retrievals, bound, wall_time)`` events —
         #: one per applied coefficient; see ``docs/OBSERVABILITY.md``.
@@ -203,19 +209,27 @@ class ProgressiveSession:
             raise ValueError("k must be non-negative")
         start = time.monotonic() if deadline is not None else 0.0
         done = 0
-        while done < k and self._heap:
-            if deadline is not None and time.monotonic() - start >= deadline:
-                break
-            neg_iota, key, pos = heapq.heappop(self._heap)
-            if self._retrieved[pos] or self._skipped[pos]:
-                continue  # stale entry from a penalty switch or a delivery
-            try:
-                coefficient = float(self.storage.store.fetch(np.array([key]))[0])
-            except RetrievalError:
-                self._mark_skipped(pos)
-                continue
-            self._apply(pos, coefficient)
-            done += 1
+        # Bind this session's account to the thread so deep layers (the
+        # resilient store counting retries) charge the right session.
+        with _charge_to(self.costs):
+            while done < k and self._heap:
+                if deadline is not None and time.monotonic() - start >= deadline:
+                    break
+                neg_iota, key, pos = heapq.heappop(self._heap)
+                if self._retrieved[pos] or self._skipped[pos]:
+                    continue  # stale entry from a penalty switch or a delivery
+                try:
+                    with self.costs.stage("fetch"):
+                        coefficient = float(
+                            self.storage.store.fetch(np.array([key]))[0]
+                        )
+                except RetrievalError:
+                    self.costs.add(skipped_keys=1)
+                    self._mark_skipped(pos)
+                    continue
+                self.costs.add(retrievals=1)
+                self._apply(pos, coefficient)
+                done += 1
         return done
 
     def deliver(self, key: int, coefficient: float) -> bool:
@@ -233,6 +247,7 @@ class ProgressiveSession:
             # The key came back (e.g. another session's fetch succeeded
             # after ours was abandoned): un-skip and apply normally.
             self._unmark_skipped(pos)
+        self.costs.add(deliveries=1)
         self._apply(pos, float(coefficient))
         return True
 
@@ -247,6 +262,7 @@ class ProgressiveSession:
         pos = self.key_position(key)
         if pos is None or self._retrieved[pos] or self._skipped[pos]:
             return False
+        self.costs.add(skipped_keys=1)
         self._mark_skipped(pos)
         return True
 
@@ -356,15 +372,16 @@ class ProgressiveSession:
     # ------------------------------------------------------------------
 
     def _apply(self, pos: int, coefficient: float) -> None:
-        self._retrieved[pos] = True
-        self._steps_taken += 1
-        self._coefficients[pos] = coefficient
-        segment = self._entry_order[self._offsets[pos] : self._offsets[pos + 1]]
-        np.add.at(
-            self.estimates,
-            self.plan.entry_qid[segment],
-            self.plan.entry_val[segment] * coefficient,
-        )
+        with self.costs.stage("apply"):
+            self._retrieved[pos] = True
+            self._steps_taken += 1
+            self._coefficients[pos] = coefficient
+            segment = self._entry_order[self._offsets[pos] : self._offsets[pos + 1]]
+            np.add.at(
+                self.estimates,
+                self.plan.entry_qid[segment],
+                self.plan.entry_val[segment] * coefficient,
+            )
         # Convergence telemetry: one event per applied coefficient.  The
         # bound is computed from the session's own pending heap, so the
         # trajectory is monotone regardless of who fetched the key.

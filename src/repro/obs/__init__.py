@@ -7,21 +7,36 @@ progressive pipeline:
   gauges, log-bucket histograms, labels) with Prometheus text and JSON
   exposition; the process-global default is :data:`REGISTRY`;
 * :mod:`repro.obs.trace` — nested wall-clock :func:`span`\\ s recorded
-  into a bounded ring and exported as Chrome ``chrome://tracing`` JSON;
+  into a bounded ring, exported as Chrome ``chrome://tracing`` JSON, with
+  cross-process collection from pool workers (portable span shipping);
+* :mod:`repro.obs.ledger` — the per-query/per-session cost ledger:
+  wall/CPU time per pipeline stage plus retrievals, bytes, cache hits,
+  retries and skipped keys, attributed to the session that spent them;
 * :mod:`repro.obs.convergence` — per-session ``(B, retrievals, bound,
   wall_time)`` event logs, the paper's Figures 5-7 from live telemetry;
-* :mod:`repro.obs.http` — a stdlib ``/metrics`` endpoint.
+* :mod:`repro.obs.profile` — sampling-profiler hooks (thread- or
+  signal-based, off by default) emitting collapsed flamegraph stacks;
+* :mod:`repro.obs.http` — a stdlib ``/metrics`` + ``/costs.json``
+  endpoint;
+* :mod:`repro.obs.bench` — the continuous benchmark harness behind
+  ``repro bench`` (imported lazily: it pulls in the whole pipeline).
 
 Both collection systems are switchable: :func:`set_enabled` gates
-metrics and convergence events (default on), :func:`set_tracing` gates
-spans (default off).  Disabled telemetry costs one boolean check per
-call site — enforced by ``tests/test_telemetry_overhead.py``.
+metrics, the cost ledger and convergence events (default on),
+:func:`set_tracing` gates spans (default off).  Disabled telemetry costs
+one boolean check per call site — enforced by
+``tests/test_telemetry_overhead.py``.
 
 See ``docs/OBSERVABILITY.md`` for the full tour.
 """
 
-from repro.obs.convergence import ConvergenceLog, ConvergenceRecord
+from repro.obs.convergence import (
+    ConvergenceLog,
+    ConvergenceRecord,
+    ConvergenceTrajectory,
+)
 from repro.obs.http import start_metrics_server
+from repro.obs.ledger import LEDGER, CostAccount, CostLedger
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -32,9 +47,12 @@ from repro.obs.metrics import (
     enabled,
     set_enabled,
 )
+from repro.obs.profile import SamplingProfiler, profile_run
 from repro.obs.trace import (
     SpanRecord,
     TraceRecorder,
+    absorb_portable,
+    export_portable,
     get_recorder,
     set_tracing,
     span,
@@ -43,17 +61,25 @@ from repro.obs.trace import (
 
 __all__ = [
     "REGISTRY",
+    "LEDGER",
     "DEFAULT_TIME_BUCKETS",
     "ConvergenceLog",
     "ConvergenceRecord",
+    "ConvergenceTrajectory",
+    "CostAccount",
+    "CostLedger",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "SamplingProfiler",
     "SpanRecord",
     "TraceRecorder",
+    "absorb_portable",
     "enabled",
+    "export_portable",
     "get_recorder",
+    "profile_run",
     "set_enabled",
     "set_tracing",
     "span",

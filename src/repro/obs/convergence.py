@@ -17,6 +17,12 @@ session's own order.
 
 Recording honours the module-level telemetry switch
 (:func:`repro.obs.set_enabled`): with telemetry off the log stays empty.
+
+The ring drops the *oldest* record on overflow; every drop increments
+the ``repro_convergence_records_dropped_total`` counter and the log's
+``dropped`` tally, which rides along on every
+:class:`ConvergenceTrajectory` so dashboards can see a truncated
+trajectory instead of silently plotting a partial one.
 """
 
 from __future__ import annotations
@@ -26,7 +32,13 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
-from repro.obs.metrics import _switch
+from repro.obs.metrics import REGISTRY, _switch
+
+_RECORDS_DROPPED = REGISTRY.counter(
+    "repro_convergence_records_dropped_total",
+    "Convergence records evicted from bounded session logs "
+    "(oldest-first overflow)",
+)
 
 
 @dataclass(frozen=True)
@@ -53,6 +65,24 @@ class ConvergenceRecord:
     wall_time: float
 
 
+class ConvergenceTrajectory(list):
+    """The retained records (oldest first) plus ring-overflow accounting.
+
+    A plain ``list`` of :class:`ConvergenceRecord` — existing consumers
+    keep working — that additionally carries :attr:`dropped` (records
+    evicted by the bounded ring before this snapshot) and
+    :attr:`capacity`, so a dashboard can tell a complete trajectory from
+    a truncated one.
+    """
+
+    __slots__ = ("dropped", "capacity")
+
+    def __init__(self, records, dropped: int, capacity: int) -> None:
+        super().__init__(records)
+        self.dropped = int(dropped)
+        self.capacity = int(capacity)
+
+
 class ConvergenceLog:
     """A thread-safe bounded ring of :class:`ConvergenceRecord` events."""
 
@@ -62,10 +92,17 @@ class ConvergenceLog:
         self._ring: deque[ConvergenceRecord] = deque(maxlen=int(capacity))
         self._lock = threading.Lock()
         self._t0 = time.perf_counter()
+        self._dropped = 0
 
     @property
     def capacity(self) -> int:
         return self._ring.maxlen or 0
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by ring overflow since the last :meth:`clear`."""
+        with self._lock:
+            return self._dropped
 
     def __len__(self) -> int:
         with self._lock:
@@ -84,12 +121,17 @@ class ConvergenceLog:
             wall_time=time.perf_counter() - self._t0,
         )
         with self._lock:
+            if len(self._ring) == self._ring.maxlen:
+                self._dropped += 1
+                _RECORDS_DROPPED.inc()
             self._ring.append(event)
 
-    def trajectory(self) -> list[ConvergenceRecord]:
-        """The retained events, oldest first."""
+    def trajectory(self) -> ConvergenceTrajectory:
+        """The retained events, oldest first (with ``dropped`` riding along)."""
         with self._lock:
-            return list(self._ring)
+            return ConvergenceTrajectory(
+                self._ring, self._dropped, self._ring.maxlen or 0
+            )
 
     def as_dicts(self) -> list[dict]:
         """JSON-friendly trajectory (what a dashboard endpoint would ship)."""
@@ -103,6 +145,24 @@ class ConvergenceLog:
             for r in self.trajectory()
         ]
 
+    def payload(self) -> dict:
+        """The full dashboard payload: records plus overflow accounting."""
+        trajectory = self.trajectory()
+        return {
+            "records": [
+                {
+                    "steps_taken": r.steps_taken,
+                    "retrievals": r.retrievals,
+                    "worst_case_bound": r.worst_case_bound,
+                    "wall_time": r.wall_time,
+                }
+                for r in trajectory
+            ],
+            "dropped": trajectory.dropped,
+            "capacity": trajectory.capacity,
+        }
+
     def clear(self) -> None:
         with self._lock:
             self._ring.clear()
+            self._dropped = 0

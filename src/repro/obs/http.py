@@ -4,7 +4,9 @@
 thread and serves:
 
 * ``GET /metrics`` — Prometheus text format (scrape target);
-* ``GET /metrics.json`` — the registry's JSON snapshot.
+* ``GET /metrics.json`` — the registry's JSON snapshot;
+* ``GET /costs.json`` — the cost ledger: per-session stage timings and
+  resource counters (see :mod:`repro.obs.ledger`).
 
 ``repro serve-demo --metrics-port 9100`` wires this up for the demo
 service; any long-running embedder can do the same with two lines.
@@ -12,15 +14,17 @@ service; any long-running embedder can do the same with two lines.
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.obs.ledger import LEDGER, CostLedger
 from repro.obs.metrics import MetricRegistry
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
-def _make_handler(registry: MetricRegistry):
+def _make_handler(registry: MetricRegistry, ledger: CostLedger):
     class MetricsHandler(BaseHTTPRequestHandler):
         def do_GET(self) -> None:  # noqa: N802 - http.server API
             path = self.path.split("?", 1)[0]
@@ -30,8 +34,15 @@ def _make_handler(registry: MetricRegistry):
             elif path == "/metrics.json":
                 body = registry.render_json().encode("utf-8")
                 content_type = "application/json"
+            elif path == "/costs.json":
+                body = json.dumps(
+                    ledger.to_json(), indent=2, sort_keys=True
+                ).encode("utf-8")
+                content_type = "application/json"
             else:
-                self.send_error(404, "try /metrics or /metrics.json")
+                self.send_error(
+                    404, "try /metrics, /metrics.json or /costs.json"
+                )
                 return
             self.send_response(200)
             self.send_header("Content-Type", content_type)
@@ -46,14 +57,21 @@ def _make_handler(registry: MetricRegistry):
 
 
 def start_metrics_server(
-    registry: MetricRegistry, port: int = 0, host: str = "127.0.0.1"
+    registry: MetricRegistry,
+    port: int = 0,
+    host: str = "127.0.0.1",
+    ledger: CostLedger | None = None,
 ) -> ThreadingHTTPServer:
     """Serve ``registry`` on ``http://host:port/metrics`` from a daemon thread.
 
     ``port=0`` binds an ephemeral port; read the actual one from the
     returned server's ``server_port``.  Call ``server.shutdown()`` to stop.
+    ``/costs.json`` serves ``ledger`` (the process-global
+    :data:`~repro.obs.ledger.LEDGER` unless given).
     """
-    server = ThreadingHTTPServer((host, port), _make_handler(registry))
+    server = ThreadingHTTPServer(
+        (host, port), _make_handler(registry, LEDGER if ledger is None else ledger)
+    )
     thread = threading.Thread(
         target=server.serve_forever, name="repro-metrics", daemon=True
     )

@@ -10,6 +10,19 @@ The recorder exports the standard Chrome trace-event JSON format, so a
 captured run drops straight into ``chrome://tracing`` / Perfetto:
 nested spans on one thread render as a flame graph, concurrent service
 threads render as parallel tracks.
+
+Cross-process collection: spans recorded inside process-pool workers
+(cascade rewrites, factor precompute) would die in the worker's own ring.
+Workers therefore ship their spans back through the pool future results
+as portable tuples (:func:`export_portable`, timestamps re-anchored to
+the wall-clock epoch) and the parent merges them with
+:func:`absorb_portable` — they keep the worker's pid, so a ``workers>1``
+trace shows the pool as separate process tracks.
+
+The ring drops the *oldest* span on overflow; every drop increments the
+``repro_trace_spans_dropped_total`` counter and the recorder's
+:attr:`~TraceRecorder.dropped` tally, so a truncated trace is visible
+instead of silently partial.
 """
 
 from __future__ import annotations
@@ -20,25 +33,44 @@ import threading
 import time
 from collections import deque
 
+from repro.obs.metrics import REGISTRY
+
+_SPANS_DROPPED = REGISTRY.counter(
+    "repro_trace_spans_dropped_total",
+    "Spans evicted from the bounded trace ring (oldest-first overflow)",
+)
+
 
 class SpanRecord:
-    """One completed span: name, microsecond start/duration, thread, attrs."""
+    """One completed span: name, microsecond start/duration, thread, attrs.
 
-    __slots__ = ("name", "ts_us", "dur_us", "tid", "attrs")
+    ``pid`` is None for spans recorded in this process; spans absorbed
+    from pool workers carry the worker's pid.
+    """
+
+    __slots__ = ("name", "ts_us", "dur_us", "tid", "attrs", "pid")
 
     def __init__(
-        self, name: str, ts_us: float, dur_us: float, tid: int, attrs: dict
+        self,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        tid: int,
+        attrs: dict,
+        pid: int | None = None,
     ) -> None:
         self.name = name
         self.ts_us = ts_us
         self.dur_us = dur_us
         self.tid = tid
         self.attrs = attrs
+        self.pid = pid
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SpanRecord({self.name!r}, ts_us={self.ts_us:.1f}, "
-            f"dur_us={self.dur_us:.1f}, tid={self.tid}, attrs={self.attrs})"
+            f"dur_us={self.dur_us:.1f}, tid={self.tid}, attrs={self.attrs}, "
+            f"pid={self.pid})"
         )
 
 
@@ -46,7 +78,8 @@ class TraceRecorder:
     """A thread-safe ring buffer of completed spans.
 
     The ring bounds memory no matter how long a traced run goes: with the
-    default 65536-span capacity the oldest spans fall off first.
+    default 65536-span capacity the oldest spans fall off first, and the
+    :attr:`dropped` counter says how many did.
     """
 
     def __init__(self, capacity: int = 65536) -> None:
@@ -55,18 +88,32 @@ class TraceRecorder:
         self._buffer: deque[SpanRecord] = deque(maxlen=int(capacity))
         self._lock = threading.Lock()
         self._tids: dict[int, tuple[int, str]] = {}
+        self._dropped = 0
 
     @property
     def capacity(self) -> int:
         return self._buffer.maxlen or 0
 
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by ring overflow since the last :meth:`clear`."""
+        with self._lock:
+            return self._dropped
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._buffer)
 
+    def _append(self, record: SpanRecord) -> None:
+        """Append under the lock, counting the eviction if the ring is full."""
+        if len(self._buffer) == self._buffer.maxlen:
+            self._dropped += 1
+            _SPANS_DROPPED.inc()
+        self._buffer.append(record)
+
     def record(self, record: SpanRecord) -> None:
         with self._lock:
-            self._buffer.append(record)
+            self._append(record)
 
     def add(self, name: str, ts_us: float, dur_us: float, attrs: dict) -> None:
         """Record a span for the calling thread (one lock acquisition)."""
@@ -76,7 +123,7 @@ class TraceRecorder:
             if entry is None:
                 entry = (len(self._tids), threading.current_thread().name)
                 self._tids[ident] = entry
-            self._buffer.append(SpanRecord(name, ts_us, dur_us, entry[0], attrs))
+            self._append(SpanRecord(name, ts_us, dur_us, entry[0], attrs))
 
     def records(self) -> list[SpanRecord]:
         with self._lock:
@@ -86,12 +133,13 @@ class TraceRecorder:
         with self._lock:
             self._buffer.clear()
             self._tids.clear()
+            self._dropped = 0
 
     # -- exposition ----------------------------------------------------
 
     def to_chrome_trace(self) -> dict:
         """The ``chrome://tracing`` / Perfetto JSON object format."""
-        pid = os.getpid()
+        local_pid = os.getpid()
         with self._lock:
             records = list(self._buffer)
             tids = dict(self._tids)
@@ -99,13 +147,17 @@ class TraceRecorder:
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": pid,
+                "pid": local_pid,
                 "tid": track,
                 "args": {"name": thread_name},
             }
             for track, thread_name in sorted(tids.values())
         ]
+        foreign_pids: set[int] = set()
         for rec in records:
+            pid = local_pid if rec.pid is None else rec.pid
+            if rec.pid is not None and rec.pid != local_pid:
+                foreign_pids.add(rec.pid)
             events.append(
                 {
                     "name": rec.name,
@@ -117,7 +169,31 @@ class TraceRecorder:
                     "args": rec.attrs,
                 }
             )
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        process_meta = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro-worker-{pid}"},
+            }
+            for pid in sorted(foreign_pids)
+        ]
+        if process_meta:
+            process_meta.insert(
+                0,
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": local_pid,
+                    "tid": 0,
+                    "args": {"name": "repro"},
+                },
+            )
+        return {
+            "traceEvents": events[: len(tids)] + process_meta + events[len(tids) :],
+            "displayTimeUnit": "ms",
+        }
 
     def export(self, path) -> int:
         """Write the Chrome trace JSON to ``path``; returns the span count."""
@@ -131,6 +207,17 @@ _enabled = False
 _recorder = TraceRecorder()
 #: perf_counter origin for microsecond timestamps (per-process, monotonic).
 _T0 = time.perf_counter()
+
+
+def _anchor_us() -> float:
+    """Microseconds between the Unix epoch and this process's span origin.
+
+    ``span.ts_us + _anchor_us()`` is an epoch-based timestamp — the
+    process-independent form worker spans are shipped in.  Computed per
+    call (cheap: two clock reads) so a forked worker does not reuse the
+    parent's cached offset.
+    """
+    return (time.time() - time.perf_counter() + _T0) * 1e6
 
 
 def set_tracing(enabled: bool, capacity: int | None = None) -> bool:
@@ -154,6 +241,45 @@ def tracing_enabled() -> bool:
 def get_recorder() -> TraceRecorder:
     """The active trace ring (swapped by ``set_tracing(capacity=...)``)."""
     return _recorder
+
+
+# ----------------------------------------------------------------------
+# Cross-process span shipping
+# ----------------------------------------------------------------------
+
+
+def export_portable() -> list[tuple]:
+    """The recorder's spans as process-independent tuples.
+
+    Each tuple is ``(name, epoch_ts_us, dur_us, pid, tid, attrs)`` —
+    timestamps re-anchored to the wall-clock epoch so the parent can
+    place them on its own timeline.  Pool workers call this after a
+    traced task and return the result through the future.
+    """
+    anchor = _anchor_us()
+    pid = os.getpid()
+    return [
+        (rec.name, rec.ts_us + anchor, rec.dur_us, pid, rec.tid, rec.attrs)
+        for rec in _recorder.records()
+    ]
+
+
+def absorb_portable(spans) -> int:
+    """Merge portable worker spans into this process's recorder.
+
+    Timestamps are re-anchored from the epoch back to this process's
+    span origin, so worker spans line up with the parent's own spans in
+    one Chrome trace; the worker's pid is kept, so the pool renders as
+    separate process tracks.  Returns the number of spans absorbed.
+    """
+    anchor = _anchor_us()
+    count = 0
+    for name, epoch_us, dur_us, pid, tid, attrs in spans:
+        _recorder.record(
+            SpanRecord(name, epoch_us - anchor, dur_us, tid, attrs, pid=pid)
+        )
+        count += 1
+    return count
 
 
 class span:

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.session import ProgressiveSession
 from repro.obs import REGISTRY, MetricRegistry, span
+from repro.obs.ledger import active_stage, activate as _charge_to, note
 from repro.storage.resilient import RetrievalError
 
 #: Distinguishes scheduler instances inside the process-global registry.
@@ -246,11 +247,18 @@ class SharedRetrievalScheduler:
             t0 = time.perf_counter()
             session = self._registrations[sid].session
             start = session.steps_taken
-            while session.steps_taken - start < k and not session.is_exact:
-                if deadline is not None and time.perf_counter() - t0 >= deadline:
-                    break
-                if self.step() is None:
-                    break
+            # The driving session pays for the schedule it requested —
+            # "schedule" wall time (inclusive of the nested "fetch"
+            # stages), the store fetches, and any resilient-store retries
+            # — even though other sessions receive coefficients along the
+            # way; their accounts are charged deliveries/cache hits as the
+            # coefficients land.
+            with _charge_to(session.costs), session.costs.stage("schedule"):
+                while session.steps_taken - start < k and not session.is_exact:
+                    if deadline is not None and time.perf_counter() - t0 >= deadline:
+                        break
+                    if self.step() is None:
+                        break
             self._advance_seconds.observe(time.perf_counter() - t0)
             return session.steps_taken - start
 
@@ -279,10 +287,11 @@ class SharedRetrievalScheduler:
             fetched = False
         else:
             try:
-                with span("scheduler.fetch", key=key):
+                with span("scheduler.fetch", key=key), active_stage("fetch"):
                     t0 = time.perf_counter()
                     coefficient = float(self.store.fetch(np.array([key]))[0])
                     self._fetch_seconds.observe(time.perf_counter() - t0)
+                note(retrievals=1)
             except RetrievalError:
                 # The store gave up on this key (retries and breaker
                 # exhausted).  Mark it unavailable in every interested
@@ -305,6 +314,9 @@ class SharedRetrievalScheduler:
                 reg.delivered += 1
                 if not fetched:
                     cache_deliveries += 1
+                    # The receiving session got the key without any I/O:
+                    # a cross-session cache hit on *its* account.
+                    reg.session.costs.add(cache_hits=1)
         if deliveries:
             self.metrics._deliveries.inc(deliveries, scheduler=instance)
         if cache_deliveries:

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.penalties import Penalty
 from repro.core.session import ProgressiveSession
-from repro.obs import REGISTRY, ConvergenceRecord, MetricRegistry, span
+from repro.obs import LEDGER, REGISTRY, ConvergenceRecord, MetricRegistry, span
 from repro.queries.vector_query import QueryBatch
 from repro.service.scheduler import SharedRetrievalScheduler
 from repro.storage.base import LinearStorage
@@ -156,6 +156,10 @@ class ProgressiveQueryService:
             session_id = f"s{next(self._ids)}"
             sid = self.scheduler.register(session)
             self._sessions[session_id] = (session, sid)
+            # Expose the session's cost account process-wide (``repro
+            # cost`` / ``/costs.json``); the ledger disambiguates id
+            # collisions across service instances with a ``#n`` suffix.
+            LEDGER.register(session_id, session.costs)
             self._submitted_total.inc(scheduler=self.scheduler._instance)
             self._submit_seconds.observe(time.perf_counter() - t0)
             return session_id
@@ -250,10 +254,37 @@ class ProgressiveQueryService:
         that is the paper's Figures 5-7 reproduced from live telemetry;
         plot it against ``steps_taken`` (the progressive budget B) to
         watch the Theorem-1 guarantee decay as the schedule runs.
+
+        The returned list is a
+        :class:`~repro.obs.ConvergenceTrajectory`: it additionally
+        carries ``dropped`` (records evicted by the bounded ring before
+        this snapshot) and ``capacity``, so a dashboard can tell a
+        complete trajectory from a truncated one.
         """
         with self._lock:
             session, _ = self._session(session_id)
             return session.convergence.trajectory()
+
+    def cost_report(self, session_id: str) -> dict:
+        """What did *this* session cost?  (See ``docs/OBSERVABILITY.md``.)
+
+        A JSON-friendly dict: per-stage wall/CPU timings
+        (``rewrite -> plan -> schedule -> fetch -> apply``; ``schedule``
+        is inclusive of the ``fetch`` stages nested inside it) plus
+        resource counters — retrievals, coefficient bytes, cross-session
+        cache hits, deliveries, store retries, skipped keys — and the
+        session's progress (master-list size, steps taken, exactness).
+        """
+        with self._lock:
+            session, _ = self._session(session_id)
+            report = session.costs.to_dict()
+            report.update(
+                session_id=session_id,
+                master_keys=session.plan.num_keys,
+                steps_taken=session.steps_taken,
+                is_exact=session.is_exact,
+            )
+            return report
 
     def metrics(self) -> ServiceMetrics:
         """A :class:`ServiceMetrics` snapshot (see its docstring)."""

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.obs import REGISTRY, span
+from repro.obs import REGISTRY, absorb_portable, span, tracing_enabled
 from repro.queries.vector_query import VectorQuery
 from repro.storage.counter import CountingStore
 
@@ -149,6 +149,14 @@ class LinearStorage(ABC):
         from concurrent.futures.process import BrokenProcessPool
 
         timeout = FACTOR_FUTURE_TIMEOUT if future_timeout is None else future_timeout
+        # When the parent is tracing, send the traced worker entry so each
+        # worker ships its rewrite spans back with the factor result; the
+        # mid-run sequential fallback still uses the plain entry (its spans
+        # land in the parent recorder directly).  Traced results are
+        # 3-tuples (spec, sv, spans); plain ones are 2-tuples.
+        worker_fn = (
+            _qt.compute_factor_traced if tracing_enabled() else _qt.compute_factor
+        )
         with span(
             "rewrite.precompute_factors", distinct=len(distinct), workers=workers
         ):
@@ -162,9 +170,7 @@ class LinearStorage(ABC):
             results: list[tuple] = []
             try:
                 try:
-                    futures = [
-                        pool.submit(_qt.compute_factor, spec) for spec in distinct
-                    ]
+                    futures = [pool.submit(worker_fn, spec) for spec in distinct]
                 except (OSError, PermissionError, RuntimeError):
                     _POOL_FALLBACKS.inc(reason="spawn")
                     return
@@ -195,7 +201,15 @@ class LinearStorage(ABC):
                     results.extend(_qt.compute_factor(spec) for spec in remaining)
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)
-            _qt.seed_factors(results)
+            seeds = []
+            for result in results:
+                if len(result) == 3:
+                    spec, sv, spans = result
+                    absorb_portable(spans)
+                    seeds.append((spec, sv))
+                else:
+                    seeds.append(result)
+            _qt.seed_factors(seeds)
 
     # ------------------------------------------------------------------
     # Conveniences shared by all strategies.

@@ -38,6 +38,7 @@ from typing import Callable
 import numpy as np
 
 from repro.obs import REGISTRY, MetricRegistry, span
+from repro.obs.ledger import note as _ledger_note
 
 #: Distinguishes resilient-store instances inside the process-global registry.
 _INSTANCE_IDS = itertools.count()
@@ -276,6 +277,9 @@ class ResilientStore:
                             attempts=attempt,
                         ) from exc
                     self._retries.inc(store=self._instance)
+                    # Attribute the retry to whichever session's fetch is
+                    # active on this thread (see repro.obs.ledger).
+                    _ledger_note(retries=1)
                     self._sleep(delay)
                 else:
                     self.breaker.record_success()

@@ -195,6 +195,34 @@ def compute_factor(spec: tuple) -> tuple[tuple, SparseVector]:
     return spec, sv
 
 
+def compute_factor_traced(spec: tuple) -> tuple[tuple, SparseVector, list]:
+    """:func:`compute_factor` with span capture (traced-pool worker entry).
+
+    Enables tracing inside the worker process around the computation and
+    ships the recorded spans back as portable tuples
+    (:func:`repro.obs.trace.export_portable`), so the parent can merge
+    them into its own recorder — worker rewrite spans then show up in
+    ``--trace-out`` Chrome traces under the worker's pid instead of
+    dying in the worker-local ring.
+
+    The worker ring is cleared first: under the ``fork`` start method the
+    child inherits the parent's recorder contents, and a reused worker
+    still holds the spans it already shipped for its previous task.
+    """
+    from repro.obs import trace as _trace
+
+    recorder = _trace.get_recorder()
+    recorder.clear()
+    previous = _trace.set_tracing(True)
+    try:
+        spec, sv = compute_factor(spec)
+    finally:
+        _trace.set_tracing(previous)
+    spans = _trace.export_portable()
+    recorder.clear()
+    return spec, sv, spans
+
+
 def seed_factors(entries: Sequence[tuple[tuple, SparseVector]]) -> None:
     """Merge ``(spec, factor)`` results into the matching engine memo."""
     cascade_entries = []

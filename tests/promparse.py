@@ -1,5 +1,12 @@
-"""A ~20-line Prometheus text-format parser (no deps) used by the
-telemetry tests to round-trip ``MetricRegistry.render_prometheus``."""
+"""A small Prometheus text-format parser and linter (no deps) used by
+the telemetry tests to round-trip ``MetricRegistry.render_prometheus``.
+
+:func:`parse_prometheus` tolerantly parses exposition text into types
+and samples; :func:`validate_exposition` additionally enforces the
+0.0.4 text-format invariants a real Prometheus scraper relies on
+(single HELP/TYPE per family, declared before samples, histogram
+``+Inf`` bucket / ``_sum`` / ``_count`` consistency, no duplicate
+sample series)."""
 
 from __future__ import annotations
 
@@ -38,3 +45,120 @@ def parse_prometheus(text: str):
         labels = tuple(sorted(_LABEL.findall(label_block or "")))
         samples[(name, labels)] = float(value.replace("Inf", "inf"))
     return types, samples
+
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _family_of(name: str, types: dict[str, str]) -> str | None:
+    """The declared family a sample name belongs to, or None."""
+    if name in types:
+        return name
+    for suffix in _HISTOGRAM_SUFFIXES:
+        base = name.removesuffix(suffix)
+        if base != name and types.get(base) == "histogram":
+            return base
+    return None
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Lint exposition text against the 0.0.4 format; returns problems.
+
+    Checks, beyond what :func:`parse_prometheus` parses:
+
+    * at most one ``# HELP`` and one ``# TYPE`` line per family, and
+      both appear *before* the family's first sample line;
+    * every sample belongs to a declared family (histogram samples via
+      their ``_bucket``/``_sum``/``_count`` suffixes only);
+    * no duplicate ``(name, labels)`` sample series;
+    * per histogram series: a ``+Inf`` bucket exists, bucket counts are
+      monotone non-decreasing in ``le``, ``_count`` equals the ``+Inf``
+      bucket, and ``_sum``/``_count`` are present together.
+    """
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    seen_samples: set[tuple] = set()
+    sampled_families: set[str] = set()
+    # histogram (family, non-le labels) -> {le value: count}
+    buckets: dict[tuple, dict[float, float]] = {}
+    sums: dict[tuple, float] = {}
+    counts: dict[tuple, float] = {}
+
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            if name in helps:
+                problems.append(f"duplicate HELP for {name}")
+            if name in sampled_families:
+                problems.append(f"HELP for {name} after its samples")
+            helps.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            name, kind = parts[2], parts[3]
+            if name in types:
+                problems.append(f"duplicate TYPE for {name}")
+            if name in sampled_families:
+                problems.append(f"TYPE for {name} after its samples")
+            if kind not in _KINDS:
+                problems.append(f"unknown TYPE {kind!r} for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.fullmatch(line)
+        if match is None:
+            problems.append(f"malformed sample line: {line!r}")
+            continue
+        name, label_block, value_text = match.groups()
+        labels = tuple(sorted(_LABEL.findall(label_block or "")))
+        value = float(value_text.replace("Inf", "inf"))
+        family = _family_of(name, types)
+        if family is None:
+            problems.append(f"sample {name} has no TYPE declaration")
+            continue
+        sampled_families.add(family)
+        if (name, labels) in seen_samples:
+            problems.append(f"duplicate sample series {name}{labels}")
+        seen_samples.add((name, labels))
+        if types[family] == "histogram":
+            series = tuple(kv for kv in labels if kv[0] != "le")
+            if name == f"{family}_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(f"{family} bucket without le label")
+                else:
+                    buckets.setdefault((family, series), {})[
+                        float(le.replace("Inf", "inf"))
+                    ] = value
+            elif name == f"{family}_sum":
+                sums[(family, series)] = value
+            elif name == f"{family}_count":
+                counts[(family, series)] = value
+
+    for (family, series), by_le in buckets.items():
+        where = f"histogram {family}{dict(series)}"
+        if float("inf") not in by_le:
+            problems.append(f"{where}: missing +Inf bucket")
+            continue
+        ordered = [by_le[le] for le in sorted(by_le)]
+        if any(b > a for a, b in zip(ordered[1:], ordered)):
+            problems.append(f"{where}: bucket counts not monotone in le")
+        if (family, series) not in counts:
+            problems.append(f"{where}: missing _count")
+        elif counts[(family, series)] != by_le[float("inf")]:
+            problems.append(
+                f"{where}: _count {counts[(family, series)]} != "
+                f"+Inf bucket {by_le[float('inf')]}"
+            )
+        if (family, series) not in sums:
+            problems.append(f"{where}: missing _sum")
+    for key in set(sums) | set(counts):
+        if key not in buckets:
+            problems.append(
+                f"histogram {key[0]}{dict(key[1])}: _sum/_count without buckets"
+            )
+    return problems

@@ -1,0 +1,152 @@
+"""Tests for the continuous benchmark harness (:mod:`repro.obs.bench`)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import bench
+
+
+@pytest.fixture(scope="module")
+def progressive_doc():
+    """One real single-trial run of the progressive family (module-cached)."""
+    return bench.run_family("progressive", seed=0, trials=1)
+
+
+class TestRunFamily:
+    def test_document_shape(self, progressive_doc):
+        doc = progressive_doc
+        assert doc["schema"] == bench.SCHEMA
+        assert doc["family"] == "progressive"
+        assert doc["trials"] == 1
+        assert doc["calibration_s"] > 0
+        assert set(doc["scenarios"]) == {"exact", "steps"}
+
+    def test_validates_clean(self, progressive_doc):
+        assert bench.validate(progressive_doc) == []
+
+    def test_counters_are_deterministic(self, progressive_doc):
+        rerun = bench.run_family("progressive", seed=0, trials=1)
+        for name, result in progressive_doc["scenarios"].items():
+            assert rerun["scenarios"][name]["counters"] == result["counters"]
+
+    def test_exact_scenario_counts_the_master_list(self, progressive_doc):
+        counters = progressive_doc["scenarios"]["exact"]["counters"]
+        assert counters["retrievals"] == counters["master_keys"]
+        assert counters["bytes_fetched"] == counters["retrievals"] * 8
+        # Sharing helps: the shared master list beats per-query fetching.
+        assert counters["unshared_retrievals"] > counters["retrievals"]
+
+    def test_normalized_walls_present(self, progressive_doc):
+        for result in progressive_doc["scenarios"].values():
+            assert result["normalized_wall"] >= 0
+            for cell in result["stages"].values():
+                assert "normalized_wall" in cell
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            bench.run_family("nonexistent")
+
+
+class TestValidate:
+    def test_rejects_wrong_schema(self, progressive_doc):
+        doc = copy.deepcopy(progressive_doc)
+        doc["schema"] = "repro-bench/v999"
+        problems = bench.validate(doc)
+        assert problems and "schema" in problems[0]
+
+    def test_rejects_non_integer_counter(self, progressive_doc):
+        doc = copy.deepcopy(progressive_doc)
+        doc["scenarios"]["exact"]["counters"]["retrievals"] = 1.5
+        assert any("retrievals" in p for p in bench.validate(doc))
+
+    def test_rejects_missing_scenarios(self, progressive_doc):
+        doc = copy.deepcopy(progressive_doc)
+        doc["scenarios"] = {}
+        assert any("scenarios" in p for p in bench.validate(doc))
+
+    def test_rejects_malformed_stage(self, progressive_doc):
+        doc = copy.deepcopy(progressive_doc)
+        doc["scenarios"]["exact"]["stages"]["fetch"]["calls"] = 0
+        assert any("fetch" in p for p in bench.validate(doc))
+
+
+class TestPersistence:
+    def test_write_and_load_round_trip(self, progressive_doc, tmp_path):
+        paths = bench.write_bench(tmp_path, {"progressive": progressive_doc})
+        assert paths == [tmp_path / "BENCH_progressive.json"]
+        loaded = bench.load_baseline(tmp_path, "progressive")
+        assert loaded == json.loads(json.dumps(progressive_doc))
+
+    def test_load_missing_baseline_returns_none(self, tmp_path):
+        assert bench.load_baseline(tmp_path, "service") is None
+
+    def test_committed_baselines_validate(self):
+        """The baselines checked into the repo root stay schema-clean."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        for family in bench.BENCH_FILES:
+            doc = bench.load_baseline(root, family)
+            assert doc is not None, f"missing committed {family} baseline"
+            assert bench.validate(doc) == []
+
+
+class TestCompareGate:
+    def test_identical_documents_pass(self, progressive_doc):
+        assert bench.compare(progressive_doc, progressive_doc) == []
+
+    def test_counter_drift_fails(self, progressive_doc):
+        current = copy.deepcopy(progressive_doc)
+        current["scenarios"]["exact"]["counters"]["retrievals"] += 1
+        problems = bench.compare(current, progressive_doc)
+        assert any("drifted" in p for p in problems)
+
+    def test_missing_scenario_fails(self, progressive_doc):
+        current = copy.deepcopy(progressive_doc)
+        del current["scenarios"]["steps"]
+        problems = bench.compare(current, progressive_doc)
+        assert any("missing from current run" in p for p in problems)
+
+    def test_slowdown_beyond_tolerance_fails(self, progressive_doc):
+        baseline = copy.deepcopy(progressive_doc)
+        current = copy.deepcopy(progressive_doc)
+        # Push both readings above the jitter floor, then regress by 2x.
+        baseline["scenarios"]["exact"]["normalized_wall"] = 10.0
+        current["scenarios"]["exact"]["normalized_wall"] = 20.0
+        problems = bench.compare(current, baseline, tolerance=0.25)
+        assert any("regressed" in p for p in problems)
+
+    def test_slowdown_within_tolerance_passes(self, progressive_doc):
+        baseline = copy.deepcopy(progressive_doc)
+        current = copy.deepcopy(progressive_doc)
+        baseline["scenarios"]["exact"]["normalized_wall"] = 10.0
+        current["scenarios"]["exact"]["normalized_wall"] = 12.0
+        assert bench.compare(current, baseline, tolerance=0.25) == []
+
+    def test_jitter_floor_suppresses_tiny_regressions(self, progressive_doc):
+        baseline = copy.deepcopy(progressive_doc)
+        current = copy.deepcopy(progressive_doc)
+        # 3x slower, but both readings are under NORMALIZED_FLOOR.
+        floor = bench.NORMALIZED_FLOOR
+        for name in baseline["scenarios"]:
+            baseline["scenarios"][name]["normalized_wall"] = floor * 0.1
+            current["scenarios"][name]["normalized_wall"] = floor * 0.3
+        assert bench.compare(current, baseline) == []
+
+    def test_speedups_never_fail(self, progressive_doc):
+        baseline = copy.deepcopy(progressive_doc)
+        current = copy.deepcopy(progressive_doc)
+        for name in baseline["scenarios"]:
+            baseline["scenarios"][name]["normalized_wall"] = 10.0
+            current["scenarios"][name]["normalized_wall"] = 1.0
+        assert bench.compare(current, baseline) == []
+
+    def test_schema_drift_requires_rebaseline(self, progressive_doc):
+        current = copy.deepcopy(progressive_doc)
+        current["schema"] = "repro-bench/v2"
+        problems = bench.compare(current, progressive_doc)
+        assert problems and "re-baseline" in problems[0]

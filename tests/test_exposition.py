@@ -1,0 +1,160 @@
+"""Strict Prometheus 0.0.4 lint of the registry's exposition output.
+
+``tests/promparse.py`` already round-trips values; ``validate_exposition``
+additionally enforces the structural invariants a real scraper relies
+on.  These tests point it at both real registry output (must be clean)
+and synthetic counterexamples (each must trip its specific check).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from tests.promparse import parse_prometheus, validate_exposition
+
+from repro import obs
+from repro.core.batch import BatchBiggestB
+from repro.data.synthetic import uniform_dataset
+from repro.queries.workload import partition_count_batch
+from repro.service.server import ProgressiveQueryService
+from repro.storage.wavelet_store import WaveletStorage
+
+
+class TestRealExposition:
+    def _drive_workload(self):
+        """Exercise both counter-only and histogram-bearing metric paths."""
+        relation = uniform_dataset((16, 16), 1000, seed=2)
+        storage = WaveletStorage.build(relation.frequency_distribution())
+        batch = partition_count_batch(
+            (16, 16), (2, 2), rng=np.random.default_rng(3)
+        )
+        BatchBiggestB(storage, batch).run()
+        service = ProgressiveQueryService(storage)
+        service.run_to_completion(service.submit(batch))
+
+    def test_registry_exposition_is_strictly_valid(self):
+        """A driven registry renders clean 0.0.4 text — histograms too."""
+        self._drive_workload()
+        text = obs.REGISTRY.render_prometheus()
+        assert validate_exposition(text) == []
+        types, samples = parse_prometheus(text)
+        assert "histogram" in types.values()  # the check exercised buckets
+        assert samples
+
+    def test_fresh_registry_exposition_is_valid(self):
+        obs.REGISTRY.reset()
+        assert validate_exposition(obs.REGISTRY.render_prometheus()) == []
+
+
+class TestSyntheticViolations:
+    def test_clean_counter_passes(self):
+        text = (
+            "# HELP x_total things\n"
+            "# TYPE x_total counter\n"
+            "x_total 3\n"
+        )
+        assert validate_exposition(text) == []
+
+    def test_duplicate_type_flagged(self):
+        text = (
+            "# TYPE x_total counter\n"
+            "# TYPE x_total counter\n"
+            "x_total 3\n"
+        )
+        assert any("duplicate TYPE" in p for p in validate_exposition(text))
+
+    def test_duplicate_help_flagged(self):
+        text = (
+            "# HELP x_total a\n"
+            "# HELP x_total b\n"
+            "# TYPE x_total counter\n"
+            "x_total 3\n"
+        )
+        assert any("duplicate HELP" in p for p in validate_exposition(text))
+
+    def test_type_after_samples_flagged(self):
+        text = (
+            "# TYPE x_total counter\n"
+            "x_total 3\n"
+            "# TYPE x_total counter\n"
+        )
+        problems = validate_exposition(text)
+        assert any("after its samples" in p for p in problems)
+
+    def test_unknown_kind_flagged(self):
+        text = "# TYPE x_total speedometer\nx_total 3\n"
+        assert any("unknown TYPE" in p for p in validate_exposition(text))
+
+    def test_undeclared_sample_flagged(self):
+        assert any(
+            "no TYPE declaration" in p
+            for p in validate_exposition("orphan_total 1\n")
+        )
+
+    def test_duplicate_series_flagged(self):
+        text = (
+            "# TYPE x gauge\n"
+            'x{a="1"} 1\n'
+            'x{a="1"} 2\n'
+        )
+        assert any("duplicate sample" in p for p in validate_exposition(text))
+
+    def test_malformed_line_flagged(self):
+        text = "# TYPE x gauge\nx one\n"
+        assert any("malformed" in p for p in validate_exposition(text))
+
+    def _histogram(self, *, inf_bucket=True, count=4.0, with_sum=True,
+                   monotone=True) -> str:
+        lines = [
+            "# TYPE h histogram",
+            'h_bucket{le="0.1"} 1',
+            f'h_bucket{{le="1.0"}} {1 if monotone else 0}',
+        ]
+        if inf_bucket:
+            lines.append('h_bucket{le="+Inf"} 4')
+        lines.append(f"h_count {count}")
+        if with_sum:
+            lines.append("h_sum 2.5")
+        return "\n".join(lines) + "\n"
+
+    def test_valid_histogram_passes(self):
+        assert validate_exposition(self._histogram()) == []
+
+    def test_missing_inf_bucket_flagged(self):
+        problems = validate_exposition(self._histogram(inf_bucket=False))
+        assert any("missing +Inf bucket" in p for p in problems)
+
+    def test_count_mismatch_flagged(self):
+        problems = validate_exposition(self._histogram(count=3.0))
+        assert any("_count" in p and "+Inf" in p for p in problems)
+
+    def test_missing_sum_flagged(self):
+        problems = validate_exposition(self._histogram(with_sum=False))
+        assert any("missing _sum" in p for p in problems)
+
+    def test_non_monotone_buckets_flagged(self):
+        problems = validate_exposition(self._histogram(monotone=False))
+        assert any("not monotone" in p for p in problems)
+
+    def test_sum_count_without_buckets_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            "h_sum 1.0\n"
+            "h_count 2\n"
+        )
+        problems = validate_exposition(text)
+        assert any("without buckets" in p for p in problems)
+
+    def test_labelled_histogram_series_checked_independently(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{op="a",le="+Inf"} 2\n'
+            'h_sum{op="a"} 1.0\n'
+            'h_count{op="a"} 2\n'
+            'h_bucket{op="b",le="+Inf"} 5\n'
+            'h_sum{op="b"} 9.0\n'
+            'h_count{op="b"} 4\n'  # mismatch only on series b
+        )
+        problems = validate_exposition(text)
+        assert len(problems) == 1
+        assert "'b'" in problems[0] or "b" in problems[0]

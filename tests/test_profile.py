@@ -1,0 +1,170 @@
+"""Tests for the sampling-profiler hooks in :mod:`repro.obs.profile`."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler, profile_run
+from repro.obs.profile import _collapse, _frame_label
+
+
+def _spin(seconds: float) -> int:
+    """Busy-loop for ``seconds``; gives the sampler CPU frames to catch."""
+    total = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        total += 1
+    return total
+
+
+def _profiled_spin(prof_kwargs: dict, seconds: float = 0.2) -> SamplingProfiler:
+    """Spin on a side thread while a thread-mode profiler samples it.
+
+    The sampler skips its own thread, so the workload must run on a
+    thread other than the one calling ``sys._current_frames``; the main
+    thread qualifies, but a named helper makes the stack assertable.
+    """
+    profiler = SamplingProfiler(**prof_kwargs)
+    worker = threading.Thread(target=_spin, args=(seconds,))
+    with profiler:
+        worker.start()
+        worker.join()
+    return profiler
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            SamplingProfiler(interval=0.0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            SamplingProfiler(mode="magic")
+
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler(interval=0.05)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_without_start_is_noop(self):
+        SamplingProfiler().stop()
+
+
+class TestThreadMode:
+    def test_samples_a_busy_workload(self):
+        profiler = _profiled_spin({"interval": 0.002, "mode": "thread"})
+        assert profiler.sample_count > 0
+        assert any(
+            stack.split(";")[-1] == "test_profile.py:_spin"
+            for stack in profiler.collapsed()
+        )
+
+    def test_stacks_are_leaf_last(self):
+        profiler = _profiled_spin({"interval": 0.002, "mode": "thread"})
+        spin_stacks = [
+            s
+            for s in profiler.collapsed()
+            if s.split(";")[-1] == "test_profile.py:_spin"
+        ]
+        assert spin_stacks
+        for stack in spin_stacks:
+            # The worker thread's root sits above the busy leaf.
+            assert "threading.py" in stack.split(";")[0]
+
+    def test_no_samples_after_stop(self):
+        profiler = _profiled_spin({"interval": 0.002, "mode": "thread"})
+        count = profiler.sample_count
+        worker = threading.Thread(target=_spin, args=(0.05,))
+        worker.start()
+        worker.join()
+        assert profiler.sample_count == count
+
+    def test_export_collapsed_format(self, tmp_path):
+        profiler = _profiled_spin({"interval": 0.002, "mode": "thread"})
+        out = tmp_path / "prof.txt"
+        written = profiler.export(out)
+        assert written == profiler.sample_count
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert ";" in stack or ":" in stack  # file.py:func frames
+
+    def test_hotspots_rank_by_samples(self):
+        profiler = _profiled_spin(
+            {"interval": 0.002, "mode": "thread"}, seconds=0.3
+        )
+        hotspots = profiler.hotspots(top=3)
+        assert hotspots
+        counts = [count for _, count in hotspots]
+        assert counts == sorted(counts, reverse=True)
+        # The busy loop is a top leaf (the joining main thread's wait is
+        # the only other stack sampled this often).
+        assert "test_profile.py:_spin" in dict(hotspots)
+
+
+class TestSignalMode:
+    def test_signal_mode_samples_main_thread_cpu(self):
+        profiler = SamplingProfiler(interval=0.002, mode="signal")
+        with profiler:
+            _spin(0.3)
+        # ITIMER_PROF fires on consumed CPU time; a 0.3s busy loop at a
+        # 2ms interval yields plenty of samples.
+        assert profiler.sample_count > 0
+        assert any("_spin" in stack for stack in profiler.collapsed())
+
+    def test_signal_mode_refuses_non_main_thread(self):
+        errors: list[Exception] = []
+
+        def try_start():
+            profiler = SamplingProfiler(mode="signal")
+            try:
+                profiler.start()
+                profiler.stop()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=try_start)
+        t.start()
+        t.join()
+        assert errors and "main thread" in str(errors[0])
+
+
+class TestProfileRun:
+    def test_returns_result_and_profiler(self):
+        result, profiler = profile_run(lambda: 42, interval=0.01)
+        assert result == 42
+        assert isinstance(profiler, SamplingProfiler)
+        # Stopped on exit: safe to export immediately.
+        assert profiler.export("/dev/null") == profiler.sample_count
+
+
+class TestFrameHelpers:
+    def test_frame_label_is_file_and_function(self):
+        import sys
+
+        frame = sys._getframe()
+        assert _frame_label(frame) == "test_profile.py:test_frame_label_is_file_and_function"
+
+    def test_collapse_walks_to_outermost_caller(self):
+        import sys
+
+        def inner():
+            return _collapse(sys._getframe())
+
+        stack = inner()
+        parts = stack.split(";")
+        assert parts[-1].endswith(":inner")
+        assert any("test_collapse_walks_to_outermost_caller" in p for p in parts)
+        # Leaf-last: the caller appears before the leaf.
+        assert parts.index(
+            "test_profile.py:test_collapse_walks_to_outermost_caller"
+        ) < len(parts) - 1

@@ -91,3 +91,22 @@ class TestTelemetryOverhead:
         finally:
             obs.set_tracing(tracing_prev)
         assert per_span < 20e-6, f"disabled span costs {per_span * 1e9:.0f}ns"
+
+    def test_disabled_ledger_ops_are_nanoseconds(self):
+        """Disabled cost-ledger charges are one boolean check each."""
+        account = obs.CostAccount(owner="test")
+        metrics_prev = obs.set_enabled(False)
+        try:
+            n = 20_000
+            t0 = time.perf_counter()
+            for _ in range(n):
+                with account.stage("fetch"):
+                    pass
+                account.add(retrievals=1)
+            per_op = (time.perf_counter() - t0) / n
+            # Nothing was recorded while disabled.
+            assert account.retrievals == 0
+            assert account.stage_totals() == {}
+        finally:
+            obs.set_enabled(metrics_prev)
+        assert per_op < 20e-6, f"disabled ledger op costs {per_op * 1e9:.0f}ns"
