@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``):
         --penalty cursored --budget 512 --trace-out trace.json
     python -m repro serve-demo --dataset uniform --shape 64,64 \
         --clients 4 --paged --metrics-port 9100
+    python -m repro serve --dataset uniform --shape 64,64 \
+        --shards 2 --port 8080
     python -m repro metrics --format prometheus
 
 The CLI mirrors the benchmark harness at whatever scale you ask for; it is
@@ -459,6 +461,95 @@ def cmd_serve_demo(args: argparse.Namespace) -> int:
             tmpdir.cleanup()
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Stand up the sharded cluster behind the asyncio HTTP edge.
+
+    Builds the dataset, serializes its wavelet coefficients to one paged
+    file, spawns ``--shards`` worker processes that map it with
+    ``shared=True`` (one OS page cache for the whole cluster), and serves
+    the JSON session API until interrupted.  ``--fault-rate`` /
+    ``--blackout`` wire the chaos harness into the shard stores
+    (optionally only ``--chaos-shard``), demonstrating
+    degraded-but-bounded answers over HTTP.  See ``docs/CLUSTER.md``.
+    """
+    from repro.cluster import ClusterHttpServer, build_cluster
+
+    relation = _build_relation(args)
+    storage = WaveletStorage.build(
+        relation.frequency_distribution(), wavelet=args.wavelet
+    )
+    chaos = None
+    if args.fault_rate > 0 or args.blackout > 0:
+        blackout_rng = np.random.default_rng(args.fault_seed)
+        blackout_keys = blackout_rng.choice(
+            storage.store.key_space_size,
+            size=min(args.blackout, storage.store.key_space_size),
+            replace=False,
+        )
+        chaos = {
+            "seed": args.fault_seed,
+            "transient_rate": args.fault_rate,
+            "blackout_keys": [int(k) for k in blackout_keys],
+            "max_attempts": args.max_attempts,
+        }
+        print(
+            f"chaos: transient fault rate {args.fault_rate:.0%}, "
+            f"{len(blackout_keys)} blacked-out keys, seed {args.fault_seed}"
+            + (
+                f", shard {args.chaos_shard} only"
+                if args.chaos_shard is not None
+                else ""
+            ),
+            flush=True,
+        )
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+    path = (
+        Path(args.paged_file)
+        if args.paged_file
+        else Path(tmpdir.name) / "coefficients.pages"
+    )
+    server = None
+    try:
+        router = build_cluster(
+            storage,
+            path,
+            args.shards,
+            partitioner=args.partitioner,
+            page_size=args.page_size,
+            buffer_pages=args.buffer_pages,
+            process_shards=not args.inline_shards,
+            chaos=chaos,
+            chaos_shard=args.chaos_shard,
+        )
+        server = ClusterHttpServer(
+            router,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+        ).start_in_thread()
+        mode = "inline" if args.inline_shards else "process"
+        print(
+            f"cluster edge listening on http://{args.host}:{server.port} | "
+            f"{args.shards} {mode} shard(s) | partitioner {args.partitioner} | "
+            f"{'x'.join(map(str, relation.shape))} domain",
+            flush=True,
+        )
+        print(
+            "endpoints: POST /sessions | GET|DELETE /sessions/<id> | "
+            "POST /sessions/<id>/{advance,penalty,retry} | "
+            "GET /metrics /metrics.json /costs.json /healthz",
+            flush=True,
+        )
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        if server is not None:
+            server.close()
+        tmpdir.cleanup()
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Run a small shared-service workload and print the metric registry.
 
@@ -633,6 +724,53 @@ def build_parser() -> argparse.ArgumentParser:
                          "pool of this size at submit (>1 to parallelize)")
     _add_profile_args(p_serve)
     p_serve.set_defaults(func=cmd_serve_demo)
+
+    p_cluster = sub.add_parser(
+        "serve",
+        help="serve the sharded cluster over the asyncio HTTP edge",
+    )
+    _add_common(p_cluster)
+    p_cluster.add_argument("--wavelet", default="db2")
+    p_cluster.add_argument("--shards", type=_positive_int, default=2,
+                           help="shard worker count")
+    p_cluster.add_argument("--partitioner", choices=["hash", "range"],
+                           default="hash",
+                           help="key -> shard placement (see docs/CLUSTER.md)")
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument("--port", type=int, default=0,
+                           help="edge port; 0 picks an ephemeral one "
+                           "(printed at startup)")
+    p_cluster.add_argument("--max-inflight", type=_positive_int, default=32,
+                           dest="max_inflight",
+                           help="admission limit before 429 + Retry-After")
+    p_cluster.add_argument("--inline-shards", action="store_true",
+                           dest="inline_shards",
+                           help="run shard workers in-process instead of "
+                           "spawning (subprocess-restricted environments)")
+    p_cluster.add_argument("--paged-file", default=None, dest="paged_file",
+                           help="write the paged coefficient file here "
+                           "instead of a temp dir")
+    p_cluster.add_argument("--page-size", type=_positive_int, default=1024,
+                           dest="page_size", help="coefficients per disk page")
+    p_cluster.add_argument("--buffer-pages", type=int, default=64,
+                           dest="buffer_pages",
+                           help="LRU buffer pool capacity per worker")
+    p_cluster.add_argument("--fault-rate", type=float, default=0.0,
+                           dest="fault_rate",
+                           help="inject transient fetch faults in the shard "
+                           "stores at this rate (0..1)")
+    p_cluster.add_argument("--blackout", type=int, default=0,
+                           help="permanently black out this many random keys; "
+                           "affected sessions degrade with a valid Thm-1 bound")
+    p_cluster.add_argument("--fault-seed", type=int, default=0,
+                           dest="fault_seed")
+    p_cluster.add_argument("--max-attempts", type=_positive_int, default=8,
+                           dest="max_attempts",
+                           help="retry budget per fetch under --fault-rate")
+    p_cluster.add_argument("--chaos-shard", type=int, default=None,
+                           dest="chaos_shard",
+                           help="apply the fault spec to this shard only")
+    p_cluster.set_defaults(func=cmd_serve)
 
     p_metrics = sub.add_parser(
         "metrics",

@@ -1,0 +1,171 @@
+"""A small stdlib HTTP client for the cluster edge.
+
+Wraps ``http.client`` around the JSON wire format in
+:mod:`repro.cluster.codec` so tests, the CI smoke driver, and scripts can
+drive a cluster without hand-writing requests.  Estimates come back as
+``numpy`` arrays; because JSON floats round-trip exactly, they are
+bit-equal to what the router computed.
+
+Overload surfaces as :class:`ClusterBusyError` (HTTP 429) carrying the
+server's ``Retry-After`` hint; other error statuses raise
+:class:`ClusterApiError` with the server's message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+
+from repro.cluster.codec import encode_batch
+from repro.queries.vector_query import QueryBatch
+
+
+class ClusterApiError(RuntimeError):
+    """A non-2xx response from the cluster edge."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.api_message = message
+
+
+class ClusterBusyError(ClusterApiError):
+    """HTTP 429 — the admission queue is full; retry after a delay."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
+class ClusterClient:
+    """Synchronous JSON client for one cluster edge endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport ------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # Stale keep-alive connection: reconnect once.
+            self._conn.close()
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        if response.status == 429:
+            retry_after = float(response.getheader("Retry-After", "1") or "1")
+            message = self._error_message(raw)
+            raise ClusterBusyError(message, retry_after)
+        if response.status >= 400:
+            raise ClusterApiError(response.status, self._error_message(raw))
+        if not raw:
+            return None
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            return json.loads(raw)
+        return raw.decode("utf-8")
+
+    @staticmethod
+    def _error_message(raw: bytes) -> str:
+        try:
+            return json.loads(raw).get("error", raw.decode("utf-8", "replace"))
+        except (json.JSONDecodeError, AttributeError):
+            return raw.decode("utf-8", "replace")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the session API -----------------------------------------------
+
+    def submit(
+        self,
+        batch: QueryBatch | dict,
+        penalty: dict | None = None,
+        workers: int | None = None,
+    ) -> str:
+        """Open a session; accepts a :class:`QueryBatch` or raw wire dict."""
+        payload = dict(
+            encode_batch(batch) if isinstance(batch, QueryBatch) else batch
+        )
+        if penalty is not None:
+            payload["penalty"] = penalty
+        if workers is not None:
+            payload["workers"] = workers
+        return self._request("POST", "/sessions", payload)["session_id"]
+
+    def advance(
+        self, session_id: str, k: int = 1, deadline: float | None = None
+    ) -> dict:
+        """Advance and return ``{"gained", "snapshot"}``."""
+        payload: dict = {"k": k}
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self._request("POST", f"/sessions/{session_id}/advance", payload)
+
+    def poll(self, session_id: str) -> dict:
+        """The session snapshot, with ``estimates`` as a float64 array."""
+        snapshot = self._request("GET", f"/sessions/{session_id}")
+        snapshot["estimates"] = np.asarray(
+            snapshot["estimates"], dtype=np.float64
+        )
+        return snapshot
+
+    def set_penalty(self, session_id: str, penalty: dict) -> dict:
+        return self._request(
+            "POST", f"/sessions/{session_id}/penalty", {"penalty": penalty}
+        )
+
+    def retry_skipped(self, session_id: str) -> int:
+        return self._request("POST", f"/sessions/{session_id}/retry", {})[
+            "requeued"
+        ]
+
+    def cancel(self, session_id: str) -> None:
+        self._request("DELETE", f"/sessions/{session_id}")
+
+    def sessions(self) -> list[str]:
+        return self._request("GET", "/sessions")["sessions"]
+
+    # -- observability ---------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body."""
+        return self._request("GET", "/metrics")
+
+    def costs(self) -> dict:
+        return self._request("GET", "/costs.json")
+
+    def session_costs(self, session_id: str) -> dict:
+        return self._request("GET", f"/sessions/{session_id}/costs")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")

@@ -1,0 +1,195 @@
+"""JSON wire codec for the cluster's HTTP edge.
+
+The edge speaks plain JSON: query batches, penalties, and session
+snapshots all round-trip through the dict shapes defined here, so a curl
+user, the :class:`~repro.cluster.client.ClusterClient`, and the CI smoke
+test share one format.  Estimates and bounds survive the trip *exactly* —
+Python serializes floats via ``repr`` (shortest round-trip form) and
+parses them with ``float()``, so the bit-equality gates hold across the
+HTTP boundary too.
+
+Query wire form (one dict per query)::
+
+    {"kind": "count",       "rect": [[0, 31], [0, 31]], "label": "a"}
+    {"kind": "sum",         "rect": ..., "attribute": 0}
+    {"kind": "sum_product", "rect": ..., "attribute_i": 0, "attribute_j": 1}
+
+Penalty wire form (optional wherever accepted)::
+
+    {"kind": "sse"}
+    {"kind": "cursored_sse", "high_priority": [0, 2],
+     "high_weight": 10.0, "low_weight": 1.0}
+    {"kind": "lp", "p": 1.0}
+    {"kind": "laplacian_chain"}
+
+Malformed payloads raise :class:`CodecError`, which the edge maps to
+``400 Bad Request`` with the message in the body.
+"""
+
+from __future__ import annotations
+
+from repro.core.penalties import (
+    CursoredSsePenalty,
+    LaplacianPenalty,
+    LpPenalty,
+    Penalty,
+    SsePenalty,
+)
+from repro.queries.range import HyperRect
+from repro.queries.vector_query import QueryBatch, VectorQuery
+from repro.service.server import SessionSnapshot
+
+
+class CodecError(ValueError):
+    """A request payload that does not decode (maps to HTTP 400)."""
+
+
+def _require(payload: dict, key: str):
+    try:
+        return payload[key]
+    except (KeyError, TypeError):
+        raise CodecError(f"missing required field {key!r}") from None
+
+
+def decode_rect(payload) -> HyperRect:
+    try:
+        bounds = tuple((int(lo), int(hi)) for lo, hi in payload)
+    except (TypeError, ValueError):
+        raise CodecError(
+            "rect must be a list of [lo, hi] integer pairs"
+        ) from None
+    try:
+        return HyperRect(bounds)
+    except ValueError as exc:
+        raise CodecError(f"bad rect: {exc}") from None
+
+
+def decode_query(payload: dict, index: int = 0) -> VectorQuery:
+    kind = _require(payload, "kind")
+    rect = decode_rect(_require(payload, "rect"))
+    label = str(payload.get("label", "") or "")
+    try:
+        if kind == "count":
+            return VectorQuery.count(rect, label=label)
+        if kind == "sum":
+            return VectorQuery.sum(
+                rect, int(_require(payload, "attribute")), label=label
+            )
+        if kind == "sum_product":
+            return VectorQuery.sum_product(
+                rect,
+                int(_require(payload, "attribute_i")),
+                int(_require(payload, "attribute_j")),
+                label=label,
+            )
+    except CodecError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"query {index}: {exc}") from None
+    raise CodecError(
+        f"query {index}: unknown kind {kind!r} "
+        "(expected count, sum, or sum_product)"
+    )
+
+
+def decode_batch(payload: dict) -> QueryBatch:
+    queries = _require(payload, "queries")
+    if not isinstance(queries, list) or not queries:
+        raise CodecError("queries must be a non-empty list")
+    decoded = [decode_query(q, i) for i, q in enumerate(queries)]
+    try:
+        return QueryBatch(decoded, name=str(payload.get("name", "") or ""))
+    except ValueError as exc:
+        raise CodecError(str(exc)) from None
+
+
+def decode_penalty(payload, batch_size: int) -> Penalty | None:
+    """Decode an optional penalty spec (``None`` stays the SSE default)."""
+    if payload is None:
+        return None
+    kind = _require(payload, "kind")
+    try:
+        if kind == "sse":
+            return SsePenalty()
+        if kind == "cursored_sse":
+            return CursoredSsePenalty(
+                batch_size,
+                [int(i) for i in _require(payload, "high_priority")],
+                high_weight=float(payload.get("high_weight", 10.0)),
+                low_weight=float(payload.get("low_weight", 1.0)),
+            )
+        if kind == "lp":
+            return LpPenalty(float(_require(payload, "p")))
+        if kind == "laplacian_chain":
+            return LaplacianPenalty.chain(batch_size)
+    except CodecError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"bad penalty: {exc}") from None
+    raise CodecError(
+        f"unknown penalty kind {kind!r} "
+        "(expected sse, cursored_sse, lp, or laplacian_chain)"
+    )
+
+
+def encode_query(query: VectorQuery) -> dict:
+    """The wire form of a basic-aggregate query (client-side helper).
+
+    Degree 0/1/2 queries built by the
+    :class:`~repro.queries.vector_query.VectorQuery` constructors map back
+    onto the ``count`` / ``sum`` / ``sum_product`` kinds; anything more
+    exotic has no wire form yet.
+    """
+    rect = [[int(lo), int(hi)] for lo, hi in query.rect.bounds]
+    out: dict = {"rect": rect}
+    if query.label:
+        out["label"] = query.label
+    monomials = [(exps, c) for exps, c in query.polynomial.monomials() if c]
+    if monomials == [(tuple([0] * query.ndim), 1.0)]:
+        out["kind"] = "count"
+        return out
+    if len(monomials) == 1 and monomials[0][1] == 1.0:
+        exps = monomials[0][0]
+        nonzero = [(d, e) for d, e in enumerate(exps) if e]
+        if len(nonzero) == 1 and nonzero[0][1] == 1:
+            out.update(kind="sum", attribute=nonzero[0][0])
+            return out
+        if len(nonzero) == 1 and nonzero[0][1] == 2:
+            out.update(
+                kind="sum_product",
+                attribute_i=nonzero[0][0],
+                attribute_j=nonzero[0][0],
+            )
+            return out
+        if len(nonzero) == 2 and all(e == 1 for _, e in nonzero):
+            out.update(
+                kind="sum_product",
+                attribute_i=nonzero[0][0],
+                attribute_j=nonzero[1][0],
+            )
+            return out
+    raise CodecError(
+        f"query {query.label or '?'} has no wire encoding "
+        "(only count/sum/sum_product travel over HTTP)"
+    )
+
+
+def encode_batch(batch: QueryBatch) -> dict:
+    out: dict = {"queries": [encode_query(q) for q in batch]}
+    if batch.name:
+        out["name"] = batch.name
+    return out
+
+
+def snapshot_to_json(snapshot: SessionSnapshot) -> dict:
+    """A snapshot's JSON body (estimates round-trip bit-exactly)."""
+    return {
+        "session_id": snapshot.session_id,
+        "estimates": [float(v) for v in snapshot.estimates],
+        "steps_taken": snapshot.steps_taken,
+        "remaining": snapshot.remaining,
+        "worst_case_bound": float(snapshot.worst_case_bound),
+        "is_exact": snapshot.is_exact,
+        "degraded": snapshot.degraded,
+        "skipped_count": snapshot.skipped_count,
+    }

@@ -1,0 +1,408 @@
+"""The cluster's asyncio HTTP edge (stdlib only).
+
+A single-threaded :mod:`asyncio` server accepts JSON requests, hands the
+router work to a small thread pool (`the router's lock serializes it; the
+pool bounds how many requests may wait on that lock), and applies
+admission control: once ``max_inflight`` session-facing requests are in
+flight, further ones are rejected immediately with ``429 Too Many
+Requests`` and a ``Retry-After`` header instead of queueing without
+bound.  Observability endpoints (``/metrics``, ``/costs.json``,
+``/healthz``) bypass admission — you can always see what an overloaded
+cluster is doing.
+
+Routes::
+
+    POST   /sessions                 {queries, name?, penalty?, workers?}
+    GET    /sessions                 list live session ids
+    GET    /sessions/{id}            snapshot (estimates, Theorem-1 bound,
+                                     degraded/skipped state)
+    POST   /sessions/{id}/advance    {k, deadline?} -> {gained, snapshot}
+    POST   /sessions/{id}/penalty    {penalty} -> snapshot
+    POST   /sessions/{id}/retry      re-queue skipped keys -> {requeued}
+    GET    /sessions/{id}/costs      merged router+shard cost report
+    DELETE /sessions/{id}            cancel
+    GET    /metrics | /metrics.json | /costs.json | /healthz
+
+Error mapping: unknown session -> 404, malformed payload or query -> 400,
+overload -> 429, everything else -> 500 with the error message in the
+JSON body.  See ``docs/CLUSTER.md`` for curl examples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cluster.codec import (
+    CodecError,
+    decode_batch,
+    decode_penalty,
+    snapshot_to_json,
+)
+from repro.cluster.router import ClusterRouter
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str, headers=()) -> None:
+        super().__init__(message)
+        self.status = status
+        self.headers = tuple(headers)
+
+
+class ClusterHttpServer:
+    """Serve a :class:`~repro.cluster.router.ClusterRouter` over HTTP."""
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 32,
+        retry_after: float = 1.0,
+    ) -> None:
+        self.router = router
+        self.host = host
+        self.port = int(port)  # 0 = ephemeral; read back after start
+        self.max_inflight = int(max_inflight)
+        self.retry_after = float(retry_after)
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._rejected = router.registry.counter(
+            "repro_cluster_http_rejected_total",
+            "Requests shed by admission control (HTTP 429)",
+        )
+        self._requests = router.registry.counter(
+            "repro_cluster_http_requests_total",
+            "HTTP requests served, by status class",
+            ("status",),
+        )
+        # The router lock serializes actual work; two workers let an
+        # advance overlap a submit's rewrite front end.
+        self._pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-edge"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def serve(self) -> None:
+        """Bind and serve forever on the current event loop (foreground)."""
+        await self._bind()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    def start_in_thread(self) -> "ClusterHttpServer":
+        """Run the edge on a daemon thread (tests, embedding); returns self."""
+        if self._thread is not None:
+            raise RuntimeError("edge already started")
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self._bind())
+                self._started.set()
+                loop.run_forever()
+            finally:
+                self._started.set()  # unblock a waiter even on bind failure
+                tasks = asyncio.all_tasks(loop)
+                for task in tasks:
+                    task.cancel()
+                if tasks:
+                    loop.run_until_complete(
+                        asyncio.gather(*tasks, return_exceptions=True)
+                    )
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-cluster-edge", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(10.0)
+        if self._server is None:
+            raise RuntimeError(f"edge failed to bind on {self.host}:{self.port}")
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, drain the pool, and shut the router down."""
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None and loop.is_running():
+            loop.call_soon_threadsafe(server.close)
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+        self._pool.shutdown(wait=True)
+        self.router.close()
+
+    async def _bind(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _handle_one(self, reader, writer) -> bool:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return False  # clean EOF between keep-alive requests
+            raise
+        if len(head) > _MAX_HEADER_BYTES:
+            await self._respond(writer, 413, {"error": "headers too large"})
+            return False
+        try:
+            request_line, *header_lines = head.decode("latin-1").split("\r\n")
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            await self._respond(writer, 400, {"error": "malformed request line"})
+            return False
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            await self._respond(writer, 413, {"error": "body too large"})
+            return False
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = headers.get("connection", "").lower() != "close"
+        path = target.split("?", 1)[0]
+        try:
+            status, payload, content_type, extra = await self._dispatch(
+                method.upper(), path, body
+            )
+        except _HttpError as exc:
+            await self._respond(
+                writer, exc.status, {"error": str(exc)}, extra=exc.headers,
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        except Exception as exc:  # noqa: BLE001 - edge must not die
+            await self._respond(
+                writer, 500, {"error": f"{type(exc).__name__}: {exc}"},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        await self._respond(
+            writer, status, payload, content_type, extra, keep_alive
+        )
+        return keep_alive
+
+    async def _respond(
+        self,
+        writer,
+        status: int,
+        payload,
+        content_type: str = "application/json",
+        extra=(),
+        keep_alive: bool = True,
+    ) -> None:
+        if payload is None:
+            body = b""
+        elif isinstance(payload, (bytes, str)):
+            body = payload.encode("utf-8") if isinstance(payload, str) else payload
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines += [f"{name}: {value}" for name, value in extra]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        self._requests.inc(status=f"{status // 100}xx")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        """Returns ``(status, payload, content_type, extra_headers)``."""
+        if path == "/metrics" and method == "GET":
+            text = self.router.registry.render_prometheus()
+            return 200, text, PROMETHEUS_CONTENT_TYPE, ()
+        if path == "/metrics.json" and method == "GET":
+            return 200, self.router.registry.render_json(), "application/json", ()
+        if path == "/costs.json" and method == "GET":
+            return 200, await self._call(self.router.costs_json, admit=False), \
+                "application/json", ()
+        if path == "/healthz" and method == "GET":
+            health = await self._call(self.router.healthz, admit=False)
+            health["inflight"] = self._inflight
+            health["max_inflight"] = self.max_inflight
+            return 200, health, "application/json", ()
+
+        if path == "/sessions":
+            if method == "POST":
+                payload = self._json(body)
+                try:
+                    created = await self._call(self._submit, payload)
+                except (CodecError, ValueError) as exc:
+                    raise _HttpError(400, str(exc)) from None
+                return 201, created, "application/json", ()
+            if method == "GET":
+                ids = await self._call(self.router.session_ids, admit=False)
+                return 200, {"sessions": ids}, "application/json", ()
+            raise _HttpError(405, f"{method} not supported on {path}")
+
+        parts = path.strip("/").split("/")
+        if parts[0] != "sessions" or len(parts) not in (2, 3):
+            raise _HttpError(404, f"no route for {path}")
+        session_id = parts[1]
+        action = parts[2] if len(parts) == 3 else None
+
+        try:
+            if action is None and method == "GET":
+                snapshot = await self._call(self.router.poll, session_id)
+                return 200, snapshot_to_json(snapshot), "application/json", ()
+            if action is None and method == "DELETE":
+                await self._call(self.router.cancel, session_id)
+                return 204, None, "application/json", ()
+            if action == "advance" and method == "POST":
+                payload = self._json(body)
+                k = int(payload.get("k", 1))
+                deadline = payload.get("deadline")
+                gained = await self._call(
+                    self.router.advance, session_id, k,
+                    float(deadline) if deadline is not None else None,
+                )
+                snapshot = await self._call(
+                    self.router.poll, session_id, admit=False
+                )
+                return 200, {
+                    "gained": gained, "snapshot": snapshot_to_json(snapshot),
+                }, "application/json", ()
+            if action == "penalty" and method == "POST":
+                payload = self._json(body)
+                await self._call(self._set_penalty, session_id, payload)
+                snapshot = await self._call(
+                    self.router.poll, session_id, admit=False
+                )
+                return 200, snapshot_to_json(snapshot), "application/json", ()
+            if action == "retry" and method == "POST":
+                requeued = await self._call(self.router.retry_skipped, session_id)
+                return 200, {"requeued": requeued}, "application/json", ()
+            if action == "costs" and method == "GET":
+                report = await self._call(
+                    self.router.cost_report, session_id, admit=False
+                )
+                return 200, report, "application/json", ()
+        except KeyError as exc:
+            raise _HttpError(
+                404, str(exc.args[0]) if exc.args else str(exc)
+            ) from None
+        except CodecError as exc:
+            raise _HttpError(400, str(exc)) from None
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from None
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    # ------------------------------------------------------------------
+    # Router bridging
+    # ------------------------------------------------------------------
+
+    def _submit(self, payload: dict) -> dict:
+        batch = decode_batch(payload)
+        penalty = decode_penalty(payload.get("penalty"), batch.size)
+        workers = payload.get("workers")
+        session_id = self.router.submit(
+            batch, penalty=penalty,
+            workers=int(workers) if workers is not None else None,
+        )
+        return {
+            "session_id": session_id,
+            "snapshot": snapshot_to_json(self.router.poll(session_id)),
+        }
+
+    def _set_penalty(self, session_id: str, payload: dict) -> None:
+        spec = payload.get("penalty", payload if payload else None)
+        if spec is None or "kind" not in spec:
+            raise CodecError("request needs a penalty spec")
+        size = len(self.router.poll(session_id).estimates)
+        self.router.set_penalty(session_id, decode_penalty(spec, size))
+
+    async def _call(self, fn, *args, admit: bool = True):
+        """Run router work on the pool, under admission control."""
+        if admit:
+            with self._inflight_lock:
+                if self._inflight >= self.max_inflight:
+                    self._rejected.inc()
+                    raise _HttpError(
+                        429,
+                        "cluster at capacity; retry later",
+                        headers=(("Retry-After", f"{self.retry_after:g}"),),
+                    )
+                self._inflight += 1
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(self._pool, lambda: fn(*args))
+        finally:
+            if admit:
+                with self._inflight_lock:
+                    self._inflight -= 1
+
+    @staticmethod
+    def _json(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"bad JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return payload

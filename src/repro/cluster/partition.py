@@ -1,0 +1,115 @@
+"""Deterministic coefficient-key partitioning for the sharded service.
+
+A partitioner is a pure function ``key -> shard`` over the store's
+integer key space.  The router uses it to split every session's master
+list into per-shard schedules and to attribute a skipped key to the shard
+that lost it; shard workers never see the partitioner — they are handed
+their key subset explicitly.  Because the function is deterministic and
+stateless, any process (router, worker, an external debugging script) can
+recompute the placement from ``(kind, num_shards, key_space_size)`` alone.
+
+Two placements are provided:
+
+* :class:`HashPartitioner` — Fibonacci-hash scatter.  Spreads every
+  wavelet level across all shards, so the importance-ordered head of a
+  schedule (which is dominated by coarse-level keys) fans out and the
+  shards fetch in parallel.  This is the default.
+* :class:`LevelRangePartitioner` — contiguous key ranges.  The
+  wavelet serialization lays levels out coarse-to-fine, so contiguous
+  ranges approximate level ownership: shard 0 owns the coarsest
+  coefficients.  Placement is cache-friendly (each shard touches a
+  contiguous page range of the store file) but the schedule head lands
+  mostly on shard 0 — the Storyboard-style per-segment layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 2**64 / golden ratio, the multiplicative (Fibonacci) hash constant.
+_FIB = np.uint64(0x9E3779B97F4A7C15)
+
+
+class Partitioner:
+    """Base: a deterministic ``key -> shard`` map over ``num_shards``."""
+
+    kind = "partitioner"
+
+    def __init__(self, num_shards: int, key_space_size: int) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if key_space_size < 1:
+            raise ValueError("key space must be non-empty")
+        self.num_shards = int(num_shards)
+        self.key_space_size = int(key_space_size)
+
+    def shard_of(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized shard index for every key (int64 in ``[0, shards)``)."""
+        raise NotImplementedError
+
+    def split(self, keys: np.ndarray, *aligned: np.ndarray) -> list[tuple]:
+        """Partition ``keys`` (plus aligned arrays) into per-shard tuples.
+
+        Returns one ``(keys, *aligned)`` tuple per shard, preserving the
+        input order within each shard.  Empty shards get empty arrays.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        owners = self.shard_of(keys)
+        out = []
+        for shard in range(self.num_shards):
+            mask = owners == shard
+            out.append((keys[mask],) + tuple(a[mask] for a in aligned))
+        return out
+
+    def describe(self) -> dict:
+        """JSON-friendly configuration (for ``/healthz`` and logs)."""
+        return {
+            "kind": self.kind,
+            "num_shards": self.num_shards,
+            "key_space_size": self.key_space_size,
+        }
+
+
+class HashPartitioner(Partitioner):
+    """Fibonacci-hash scatter of keys across shards (the default)."""
+
+    kind = "hash"
+
+    def shard_of(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size and (keys.min() < 0 or keys.max() >= self.key_space_size):
+            raise KeyError("key outside the partitioned key space")
+        with np.errstate(over="ignore"):
+            hashed = keys.astype(np.uint64) * _FIB
+        # The high bits carry the mix; fold them down before the modulus.
+        return ((hashed >> np.uint64(32)) % np.uint64(self.num_shards)).astype(
+            np.int64
+        )
+
+
+class LevelRangePartitioner(Partitioner):
+    """Contiguous key ranges — approximate wavelet-level ownership."""
+
+    kind = "range"
+
+    def shard_of(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size and (keys.min() < 0 or keys.max() >= self.key_space_size):
+            raise KeyError("key outside the partitioned key space")
+        return (keys * self.num_shards) // self.key_space_size
+
+
+_KINDS = {cls.kind: cls for cls in (HashPartitioner, LevelRangePartitioner)}
+
+
+def make_partitioner(
+    kind: str, num_shards: int, key_space_size: int
+) -> Partitioner:
+    """Build a partitioner by kind name (``hash`` or ``range``)."""
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {kind!r}; choose from {sorted(_KINDS)}"
+        ) from None
+    return cls(num_shards, key_space_size)

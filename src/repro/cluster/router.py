@@ -1,0 +1,520 @@
+"""The cluster router: global progressive order over sharded schedules.
+
+The router is the cluster's brain: it owns the authoritative
+:class:`~repro.core.session.ProgressiveSession` objects (estimates,
+Theorem-1 bounds, degraded state), rewrites submitted batches, splits
+each master list across the shard workers with a deterministic
+:class:`~repro.cluster.partition.Partitioner`, and reassembles the
+shards' importance-ordered delivery streams into the exact global
+Batch-Biggest-B order:
+
+* every shard exposes the ``(importance, key)`` top of its local
+  schedule (:meth:`~repro.cluster.worker.ShardWorker.peek`);
+* :meth:`ClusterRouter.advance` repeatedly serves the shard whose top is
+  the global maximum (importance desc, key asc — the single-process heap
+  order; keys are unique to a shard, so the merge is a total order);
+* the served shard returns delivery/skip events which the router applies
+  to the interested sessions via
+  :meth:`~repro.core.session.ProgressiveSession.deliver` / ``skip``.
+
+Because each shard runs the unmodified
+:class:`~repro.service.scheduler.SharedRetrievalScheduler` over its key
+subset and the merge replays the global heap's comparator, an N-shard
+cluster serves coefficients in *bit-identical order* to the 1-process
+:class:`~repro.service.server.ProgressiveQueryService` — the property
+suites in ``tests/test_cluster.py`` gate on this at every poll point.
+
+Shard outages degrade, never crash: a worker that stops answering is
+*shed* — every session's still-pending keys owned by that shard are
+marked skipped, which keeps ``worst_case_bound()`` a valid Theorem-1
+upper bound exactly as in ``docs/RESILIENCE.md`` — and the surviving
+shards keep serving.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.partition import Partitioner
+from repro.cluster.worker import DELIVER, ShardLostError
+from repro.core.penalties import Penalty
+from repro.core.session import ProgressiveSession
+from repro.obs import LEDGER, REGISTRY, MetricRegistry, span
+from repro.obs.ledger import merge_cost_reports
+from repro.queries.vector_query import QueryBatch
+from repro.service.server import SessionSnapshot
+from repro.storage.base import LinearStorage
+
+
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """Cluster-wide counters aggregated across shard workers.
+
+    ``retrievals``/``deliveries``/``cache_deliveries``/``skipped_keys``
+    are sums over the live shards' scheduler counters; ``per_shard``
+    keeps the unaggregated breakdown (including each worker's pid and
+    page-cache state).  ``shed_shards`` lists shards lost and shed.
+    """
+
+    retrievals: int
+    deliveries: int
+    shared_deliveries: int
+    cache_deliveries: int
+    skipped_keys: int
+    live_sessions: int
+    sessions_submitted: int
+    num_shards: int
+    shed_shards: tuple[int, ...]
+    per_shard: dict[int, dict] = field(default_factory=dict)
+
+    @property
+    def shared_hit_ratio(self) -> float:
+        return self.shared_deliveries / self.deliveries if self.deliveries else 0.0
+
+
+@dataclass
+class _ClusterSession:
+    session: ProgressiveSession
+    shard_ids: tuple[int, ...]  # shards holding a registration for it
+
+
+class ClusterRouter:
+    """Route progressive sessions across shard workers.
+
+    Thread-safe like the single-process service: one lock serializes the
+    client surface, so the HTTP edge can drive it from a worker thread
+    while tests poke it directly.
+    """
+
+    def __init__(
+        self,
+        storage: LinearStorage,
+        shards,
+        partitioner: Partitioner,
+        registry: MetricRegistry | None = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        if partitioner.num_shards != len(shards):
+            raise ValueError(
+                f"partitioner expects {partitioner.num_shards} shards, "
+                f"got {len(shards)}"
+            )
+        #: The query-rewrite strategy; its store is only read for the
+        #: Theorem-1 aggregates (all fetching happens in the workers).
+        self.storage = storage
+        self.partitioner = partitioner
+        self.registry = REGISTRY if registry is None else registry
+        self._shards = {int(s.shard): s for s in shards}
+        if len(self._shards) != len(shards):
+            raise ValueError("shard indices must be unique")
+        self._lock = threading.RLock()
+        self._sessions: dict[str, _ClusterSession] = {}
+        self._ids = itertools.count(1)
+        #: Latest known (importance, key) top per live shard (None = drained).
+        self._tops: dict[int, tuple[float, int] | None] = {
+            index: None for index in self._shards
+        }
+        self._dead: set[int] = set()
+        self._submitted_total = self.registry.counter(
+            "repro_cluster_sessions_submitted_total",
+            "Progressive sessions opened on the cluster router",
+        )
+        self._shards_lost = self.registry.counter(
+            "repro_cluster_shards_lost_total",
+            "Shard workers shed after they stopped answering",
+        )
+        self._shard_up = self.registry.gauge(
+            "repro_cluster_shard_up",
+            "1 while the shard worker answers, 0 once shed",
+            ("shard",),
+        )
+        self._shard_retrievals = self.registry.gauge(
+            "repro_cluster_shard_retrievals",
+            "Store fetches issued by the shard worker (worker-side total)",
+            ("shard",),
+        )
+        self._shard_deliveries = self.registry.gauge(
+            "repro_cluster_shard_deliveries",
+            "Coefficient deliveries issued by the shard worker",
+            ("shard",),
+        )
+        self._advance_seconds = self.registry.histogram(
+            "repro_cluster_advance_seconds",
+            "Wall-clock latency of router advance() calls",
+        )
+        for index in self._shards:
+            self._shard_up.set(1, shard=str(index))
+
+    # ------------------------------------------------------------------
+    # Client surface (mirrors ProgressiveQueryService)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        batch: QueryBatch,
+        penalty: Penalty | None = None,
+        workers: int | None = None,
+    ) -> str:
+        """Open a session; its schedule is fanned out to the shard owners."""
+        batch.validate_for(self.storage.shape)
+        with self._lock, span("cluster.submit", queries=batch.size):
+            session = ProgressiveSession(
+                self.storage, batch, penalty=penalty, workers=workers
+            )
+            session_id = f"s{next(self._ids)}"
+            keys, iotas = session.pending()
+            shard_ids = []
+            for index, (sub_keys, sub_iotas) in enumerate(
+                self.partitioner.split(keys, iotas)
+            ):
+                if not sub_keys.size:
+                    continue
+                if index in self._dead:
+                    # The owner is already gone: the keys are skipped from
+                    # birth, so the session starts degraded-but-bounded.
+                    for key in sub_keys.tolist():
+                        session.skip(int(key))
+                    continue
+                try:
+                    self._tops[index] = self._shards[index].call(
+                        "register", session_id, sub_keys, sub_iotas
+                    )
+                except ShardLostError:
+                    self._shed_shard(index)
+                    for key in sub_keys.tolist():
+                        session.skip(int(key))
+                    continue
+                shard_ids.append(index)
+            self._sessions[session_id] = _ClusterSession(
+                session, tuple(shard_ids)
+            )
+            LEDGER.register(session_id, session.costs)
+            self._submitted_total.inc()
+            return session_id
+
+    def advance(
+        self, session_id: str, k: int = 1, deadline: float | None = None
+    ) -> int:
+        """Serve global-importance order until this session gains ``k``.
+
+        Exactly the single-process semantics: the globally most important
+        pending coefficient is served regardless of which session wants
+        it, every interested session receives it, and the call returns
+        early at exhaustion, on shard loss (the affected keys degrade to
+        skipped), or once the wall-clock ``deadline`` elapses.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        with self._lock, span("cluster.advance", sid=session_id, k=k):
+            t0 = time.perf_counter()
+            session = self._session(session_id).session
+            start = session.steps_taken
+            while session.steps_taken - start < k and not session.is_exact:
+                if deadline is not None and time.perf_counter() - t0 >= deadline:
+                    break
+                index = self._best_shard()
+                if index is None:
+                    break
+                try:
+                    events, top = self._shards[index].call("step", session_id)
+                except ShardLostError:
+                    self._shed_shard(index)
+                    continue
+                self._tops[index] = top
+                self._apply_events(events)
+            self._advance_seconds.observe(time.perf_counter() - t0)
+            return session.steps_taken - start
+
+    def run_to_completion(self, session_id: str) -> np.ndarray:
+        """Advance until exact; returns the exact answers.
+
+        Raises like :meth:`ProgressiveSession.exact_answers` when the
+        session degraded along the way (shard loss, blacked-out keys) —
+        use :meth:`poll` for the bounded estimates instead.
+        """
+        with self._lock:
+            session = self._session(session_id).session
+            while not session.is_exact:
+                if self.advance(session_id, session.remaining or 1) == 0:
+                    break
+            return session.exact_answers()
+
+    def poll(self, session_id: str) -> SessionSnapshot:
+        """A consistent snapshot (same shape as the 1-process service)."""
+        with self._lock:
+            session = self._session(session_id).session
+            estimates = (
+                session.exact_answers()
+                if session.is_exact
+                else session.estimates.copy()
+            )
+            return SessionSnapshot(
+                session_id=session_id,
+                estimates=estimates,
+                steps_taken=session.steps_taken,
+                remaining=session.remaining,
+                worst_case_bound=session.worst_case_bound(),
+                is_exact=session.is_exact,
+                degraded=session.degraded,
+                skipped_count=session.skipped_count,
+            )
+
+    def set_penalty(self, session_id: str, penalty: Penalty) -> None:
+        """Re-target a session; every shard re-ranks its pending subset."""
+        with self._lock:
+            record = self._session(session_id)
+            record.session.set_penalty(penalty)
+            keys, iotas = record.session.pending()
+            subsets = self.partitioner.split(keys, iotas)
+            for index in record.shard_ids:
+                if index in self._dead:
+                    continue
+                sub_keys, sub_iotas = subsets[index]
+                try:
+                    self._tops[index] = self._shards[index].call(
+                        "reprioritize", session_id, sub_keys, sub_iotas
+                    )
+                except ShardLostError:
+                    self._shed_shard(index)
+
+    def retry_skipped(self, session_id: str) -> int:
+        """Re-queue skipped keys whose owning shard is still alive.
+
+        Keys owned by shed shards stay skipped (nobody can serve them),
+        so the Theorem-1 bound keeps covering them; returns the number of
+        keys actually re-queued.
+        """
+        with self._lock:
+            record = self._session(session_id)
+            session = record.session
+            skipped = session.skipped_keys()
+            if not skipped.size:
+                return 0
+            owners = self.partitioner.shard_of(skipped)
+            live = ~np.isin(owners, sorted(self._dead))
+            if not skipped[live].size:
+                return 0
+            session.retry_skipped()
+            # Re-skip what no shard can serve; the rest goes back out.
+            for key in skipped[~live].tolist():
+                session.skip(int(key))
+            requeued = 0
+            keys, iotas = session.pending()
+            subsets = self.partitioner.split(keys, iotas)
+            retry_by_shard = {
+                index: set(skipped[live][owners[live] == index].tolist())
+                for index in set(owners[live].tolist())
+            }
+            for index, retry_keys in retry_by_shard.items():
+                sub_keys, sub_iotas = subsets[index]
+                mask = np.isin(sub_keys, np.fromiter(retry_keys, dtype=np.int64))
+                try:
+                    self._tops[index] = self._shards[index].call(
+                        "unskip", session_id, sub_keys[mask], sub_iotas[mask]
+                    )
+                except ShardLostError:
+                    self._shed_shard(index)
+                    continue
+                requeued += int(mask.sum())
+            return requeued
+
+    def cancel(self, session_id: str) -> None:
+        """Close a session on the router and every shard that holds it."""
+        with self._lock:
+            record = self._session(session_id)
+            del self._sessions[session_id]
+            for index in record.shard_ids:
+                if index in self._dead:
+                    continue
+                try:
+                    self._tops[index] = self._shards[index].call(
+                        "deregister", session_id
+                    )
+                except ShardLostError:
+                    self._shed_shard(index)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> ClusterMetrics:
+        """Aggregate worker counters (refreshes the per-shard gauges)."""
+        with self._lock:
+            per_shard: dict[int, dict] = {}
+            for index in list(self._shards):
+                if index in self._dead:
+                    continue
+                try:
+                    per_shard[index] = self._shards[index].call("stats")
+                except ShardLostError:
+                    self._shed_shard(index)
+            totals = {
+                key: sum(s[key] for s in per_shard.values())
+                for key in (
+                    "retrievals",
+                    "deliveries",
+                    "cache_deliveries",
+                    "skipped_keys",
+                )
+            }
+            for index, stats in per_shard.items():
+                self._shard_retrievals.set(stats["retrievals"], shard=str(index))
+                self._shard_deliveries.set(stats["deliveries"], shard=str(index))
+            return ClusterMetrics(
+                retrievals=totals["retrievals"],
+                deliveries=totals["deliveries"],
+                shared_deliveries=totals["deliveries"] - totals["retrievals"],
+                cache_deliveries=totals["cache_deliveries"],
+                skipped_keys=totals["skipped_keys"],
+                live_sessions=len(self._sessions),
+                sessions_submitted=int(self._submitted_total.value()),
+                num_shards=len(self._shards),
+                shed_shards=tuple(sorted(self._dead)),
+                per_shard=per_shard,
+            )
+
+    def cost_report(self, session_id: str) -> dict:
+        """Router-side account merged with every shard's share.
+
+        The router pays rewrite/plan/apply; the shard owners pay
+        schedule/fetch (and retries) for their key subsets — the merge is
+        the whole session's bill, same shape as the single-process
+        ``cost_report``.
+        """
+        with self._lock:
+            record = self._session(session_id)
+            shard_reports = []
+            for index in record.shard_ids:
+                if index in self._dead:
+                    continue
+                try:
+                    stats = self._shards[index].call("stats")
+                except ShardLostError:
+                    self._shed_shard(index)
+                    continue
+                share = stats["costs"].get(session_id)
+                if share:
+                    shard_reports.append(share)
+            report = merge_cost_reports(
+                record.session.costs.to_dict(), *shard_reports
+            )
+            report.update(
+                session_id=session_id,
+                master_keys=record.session.plan.num_keys,
+                steps_taken=record.session.steps_taken,
+                is_exact=record.session.is_exact,
+                shards=sorted(record.shard_ids),
+            )
+            return report
+
+    def costs_json(self) -> dict:
+        """Every live session's merged cost report (the ``/costs.json`` body)."""
+        with self._lock:
+            ids = list(self._sessions)
+        return {session_id: self.cost_report(session_id) for session_id in ids}
+
+    def healthz(self) -> dict:
+        """Liveness summary for the HTTP edge."""
+        with self._lock:
+            return {
+                "shards": [
+                    {"shard": index, "up": index not in self._dead}
+                    for index in sorted(self._shards)
+                ],
+                "partitioner": self.partitioner.describe(),
+                "live_sessions": len(self._sessions),
+                "shed_shards": sorted(self._dead),
+            }
+
+    @property
+    def live_shards(self) -> int:
+        with self._lock:
+            return len(self._shards) - len(self._dead)
+
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down every shard worker; idempotent."""
+        with self._lock:
+            for index, shard in self._shards.items():
+                if index not in self._dead:
+                    shard.close()
+            self._dead.update(self._shards)
+            close = getattr(self.storage.store, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _session(self, session_id: str) -> _ClusterSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown or cancelled session {session_id!r}"
+            ) from None
+
+    def _best_shard(self) -> int | None:
+        """The live shard holding the globally most important entry."""
+        best_index = None
+        best_rank: tuple[float, int] | None = None
+        for index, top in self._tops.items():
+            if index in self._dead or top is None:
+                continue
+            rank = (-float(top[0]), int(top[1]))  # the global heap comparator
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_index = index
+        return best_index
+
+    def _apply_events(self, events) -> None:
+        for kind, session_id, key, value in events:
+            record = self._sessions.get(session_id)
+            if record is None:
+                continue  # cancelled while the reply was in flight
+            if kind == DELIVER:
+                record.session.deliver(int(key), float(value))
+            else:
+                record.session.skip(int(key))
+
+    def _shed_shard(self, index: int) -> None:
+        """Degrade every session's keys owned by a lost shard."""
+        if index in self._dead:
+            return
+        self._dead.add(index)
+        self._tops[index] = None
+        self._shards_lost.inc()
+        self._shard_up.set(0, shard=str(index))
+        shard = self._shards[index]
+        close = getattr(shard, "_abandon", None)
+        if close is not None:
+            close()
+        else:
+            shard.alive = False
+        for record in self._sessions.values():
+            keys, _ = record.session.pending()
+            if not keys.size:
+                continue
+            owners = self.partitioner.shard_of(keys)
+            for key in keys[owners == index].tolist():
+                record.session.skip(int(key))

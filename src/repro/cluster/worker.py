@@ -1,0 +1,448 @@
+"""The shard worker: one key-subset schedule over one store slice.
+
+A shard worker owns the coefficients the partitioner assigned to it and
+runs the *same* :class:`~repro.service.scheduler.SharedRetrievalScheduler`
+the single-process service uses — just over lightweight
+:class:`ShardSessionStub` registrations instead of full sessions.  A stub
+carries the ``(key, importance)`` subset the router sent for one session;
+deliveries and skips are not applied locally but recorded into an outbox
+the router drains, applies to the authoritative
+:class:`~repro.core.session.ProgressiveSession` replicas, and merges with
+the other shards' streams by importance.  Reusing the scheduler verbatim
+is what makes the cross-shard bit-equality gate hold by construction:
+within a shard, keys are served in exactly the single-process heap order
+(importance desc, key asc), coefficients are fetched once and cached
+while any session holds interest, and a store that abandons a fetch
+degrades the affected stubs instead of crashing the schedule.
+
+Workers run in-process (:class:`InlineShard`, used by tests and the
+benchmark harness) or as separate OS processes
+(:func:`start_shard_processes` → :class:`ProcessShard`), speaking a tiny
+pickled command protocol over a ``multiprocessing`` pipe.  Process
+workers open the paged coefficient file with ``shared=True`` so
+co-located shards map one OS page cache instead of copying pages per
+process (see :class:`~repro.storage.paged.PagedCoefficientStore`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+
+from repro.obs.ledger import CostAccount, activate as _charge_to
+from repro.service.scheduler import SharedRetrievalScheduler
+
+#: Event kinds a worker emits from ``step``.
+DELIVER, SKIP = "deliver", "skip"
+
+
+class ShardLostError(RuntimeError):
+    """A shard process stopped answering (died, hung, or pipe broke)."""
+
+    def __init__(self, shard: int, reason: str) -> None:
+        super().__init__(f"shard {shard} lost: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+
+class ShardSessionStub:
+    """A session's shard-local registration (the scheduler duck type).
+
+    Implements exactly the surface :class:`SharedRetrievalScheduler`
+    touches — ``pending`` / ``is_pending`` / ``deliver`` / ``skip`` /
+    ``costs`` — against plain key sets.  State transitions mirror
+    :class:`~repro.core.session.ProgressiveSession`; the events appended
+    to ``outbox`` let the router replay them on the real session.
+    """
+
+    def __init__(self, sid: str, keys, importance, outbox: list) -> None:
+        self.sid = sid
+        self._outbox = outbox
+        self._pending: dict[int, float] = {
+            int(k): float(i) for k, i in zip(keys, importance)
+        }
+        self._skipped: dict[int, float] = {}
+        self._retrieved: set[int] = set()
+        self.costs = CostAccount(owner="shard-session")
+
+    # -- the scheduler surface -----------------------------------------
+
+    def pending(self) -> tuple[np.ndarray, np.ndarray]:
+        keys = np.fromiter(self._pending, dtype=np.int64, count=len(self._pending))
+        iotas = np.fromiter(
+            self._pending.values(), dtype=np.float64, count=len(self._pending)
+        )
+        return keys, iotas
+
+    def is_pending(self, key: int) -> bool:
+        return key in self._pending
+
+    def deliver(self, key: int, coefficient: float) -> bool:
+        key = int(key)
+        if key in self._retrieved:
+            return False
+        if self._pending.pop(key, None) is None and self._skipped.pop(key, None) is None:
+            return False
+        self._retrieved.add(key)
+        self.costs.add(deliveries=1)
+        self._outbox.append((DELIVER, self.sid, key, float(coefficient)))
+        return True
+
+    def skip(self, key: int) -> bool:
+        key = int(key)
+        iota = self._pending.pop(key, None)
+        if iota is None:
+            return False
+        self._skipped[key] = iota
+        self.costs.add(skipped_keys=1)
+        self._outbox.append((SKIP, self.sid, key, 0.0))
+        return True
+
+    # -- router-driven state updates -----------------------------------
+
+    def set_pending(self, keys, importance) -> None:
+        """Replace the pending view (penalty switch re-ranked the keys)."""
+        self._pending = {int(k): float(i) for k, i in zip(keys, importance)}
+
+    def unskip(self, keys, importance) -> None:
+        """Move keys back from skipped to pending (store recovered)."""
+        for k, i in zip(keys, importance):
+            k = int(k)
+            if k in self._retrieved:
+                continue
+            self._skipped.pop(k, None)
+            self._pending[k] = float(i)
+
+
+class ShardWorker:
+    """One shard's scheduler, store slice, and registration table."""
+
+    def __init__(self, store, shard: int = 0) -> None:
+        self.store = store
+        self.shard = int(shard)
+        self.scheduler = SharedRetrievalScheduler(store)
+        self._outbox: list[tuple] = []
+        self._stubs: dict[str, tuple[ShardSessionStub, int]] = {}
+
+    # -- session lifecycle ---------------------------------------------
+
+    def register(self, sid: str, keys, importance):
+        stub = ShardSessionStub(sid, keys, importance, self._outbox)
+        self._stubs[sid] = (stub, self.scheduler.register(stub))
+        return self.peek()
+
+    def reprioritize(self, sid: str, keys, importance):
+        stub, ssid = self._stubs[sid]
+        stub.set_pending(keys, importance)
+        self.scheduler.reprioritize(ssid)
+        return self.peek()
+
+    def unskip(self, sid: str, keys, importance):
+        stub, ssid = self._stubs[sid]
+        stub.unskip(keys, importance)
+        self.scheduler.reprioritize(ssid)
+        return self.peek()
+
+    def deregister(self, sid: str):
+        entry = self._stubs.pop(sid, None)
+        if entry is not None:
+            self.scheduler.deregister(entry[1])
+        return self.peek()
+
+    # -- the schedule ---------------------------------------------------
+
+    def peek(self):
+        """``(importance, key)`` this shard would serve next, or None."""
+        return self.scheduler.peek()
+
+    def step(self, charge_sid: str | None = None):
+        """Serve this shard's most important pending coefficient.
+
+        Returns ``(events, top)``: the delivery/skip events the serve
+        produced (empty when the shard is drained) and the shard's new
+        top-of-schedule.  ``charge_sid`` attributes the fetch cost to
+        that session's shard-side account, mirroring how the
+        single-process scheduler charges the driving session.
+        """
+        entry = self._stubs.get(charge_sid) if charge_sid is not None else None
+        if entry is not None:
+            account = entry[0].costs
+            with _charge_to(account), account.stage("schedule"):
+                self.scheduler.step()
+        else:
+            self.scheduler.step()
+        events, self._outbox[:] = list(self._outbox), ()
+        return events, self.peek()
+
+    # -- observability ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Shard-local counters, page-cache state, and per-session costs."""
+        m = self.scheduler.metrics
+        cache = None
+        store = self.store
+        while store is not None and not hasattr(store, "cache"):
+            store = getattr(store, "inner", None)
+        if store is not None:
+            cache = {
+                "hits": store.cache.hits,
+                "misses": store.cache.misses,
+                "evictions": store.cache.evictions,
+                "hit_ratio": store.cache.hit_ratio,
+                "buffered_pages": store.buffered_pages,
+            }
+        return {
+            "shard": self.shard,
+            "pid": os.getpid(),
+            "retrievals": m.retrievals,
+            "deliveries": m.deliveries,
+            "cache_deliveries": m.cache_deliveries,
+            "skipped_keys": m.skipped_keys,
+            "live_sessions": self.scheduler.live_sessions,
+            "page_cache": cache,
+            "costs": {
+                sid: stub.costs.to_dict() for sid, (stub, _) in self._stubs.items()
+            },
+        }
+
+    def close(self) -> None:
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
+
+def build_shard_store(spec: dict):
+    """Open a shard's store slice from its picklable spec.
+
+    ``spec`` carries the paged file path plus buffering and (optional)
+    chaos configuration::
+
+        {"path": ..., "buffer_pages": 64, "shared": True,
+         "chaos": None | {"seed", "transient_rate", "blackout_keys",
+                          "latency", "max_attempts"}}
+
+    With chaos configured, the paged store is wrapped in the seeded
+    :class:`~repro.storage.faults.FaultInjectingStore` under a zero-delay
+    :class:`~repro.storage.resilient.ResilientStore`, exactly like the
+    single-process chaos harness — so a blacked-out key degrades the
+    interested sessions instead of crashing the shard.
+    """
+    from repro.storage.paged import PagedCoefficientStore
+
+    store = PagedCoefficientStore(
+        spec["path"],
+        buffer_pages=int(spec.get("buffer_pages", 64)),
+        shared=bool(spec.get("shared", True)),
+    )
+    chaos = spec.get("chaos")
+    if chaos:
+        from repro.storage.faults import FaultInjectingStore
+        from repro.storage.resilient import (
+            CircuitBreaker,
+            ResilientStore,
+            RetryPolicy,
+        )
+
+        injector = FaultInjectingStore(
+            store,
+            seed=int(chaos.get("seed", 0)),
+            transient_rate=float(chaos.get("transient_rate", 0.0)),
+            blackout_keys=chaos.get("blackout_keys", ()),
+            latency=float(chaos.get("latency", 0.0)),
+        )
+        store = ResilientStore(
+            injector,
+            policy=RetryPolicy(
+                max_attempts=int(chaos.get("max_attempts", 8)),
+                base_delay=0.0,
+                max_delay=0.0,
+            ),
+            breaker=CircuitBreaker(failure_threshold=10_000),
+            sleep=lambda _s: None,
+        )
+    return store
+
+
+def shard_worker_main(conn, spec: dict) -> None:
+    """Process entry point: serve pipe commands until ``close``.
+
+    Every command is a ``(method, args)`` tuple; the reply is
+    ``(True, result)`` or ``(False, repr(error))``.  Unknown commands and
+    per-command exceptions are reported, not fatal — only a broken pipe
+    or ``close`` ends the loop.
+    """
+    worker = ShardWorker(build_shard_store(spec), shard=int(spec.get("shard", 0)))
+    try:
+        while True:
+            try:
+                method, args = conn.recv()
+            except (EOFError, OSError):
+                break
+            if method == "close":
+                conn.send((True, None))
+                break
+            try:
+                result = getattr(worker, method)(*args)
+            except Exception as exc:  # noqa: BLE001 - reported to the router
+                conn.send((False, repr(exc)))
+            else:
+                conn.send((True, result))
+    finally:
+        worker.close()
+        conn.close()
+
+
+class InlineShard:
+    """A shard worker driven by direct calls (tests, benchmarks, CLI
+    ``--inline-shards`` for subprocess-restricted environments)."""
+
+    def __init__(self, worker: ShardWorker) -> None:
+        self._worker = worker
+        self.shard = worker.shard
+        self.alive = True
+
+    def call(self, method: str, *args):
+        if not self.alive:
+            raise ShardLostError(self.shard, "shard already closed")
+        return getattr(self._worker, method)(*args)
+
+    def close(self) -> None:
+        if self.alive:
+            self.alive = False
+            self._worker.close()
+
+
+class ProcessShard:
+    """A shard worker in its own OS process, driven over a pipe."""
+
+    def __init__(self, process, conn, shard: int, timeout: float = 30.0) -> None:
+        self._process = process
+        self._conn = conn
+        self.shard = int(shard)
+        self.timeout = float(timeout)
+        self.alive = True
+
+    def call(self, method: str, *args):
+        if not self.alive:
+            raise ShardLostError(self.shard, "shard already lost")
+        try:
+            self._conn.send((method, args))
+            if not self._conn.poll(self.timeout):
+                raise ShardLostError(self.shard, f"no reply in {self.timeout}s")
+            ok, payload = self._conn.recv()
+        except ShardLostError:
+            self._abandon()
+            raise
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            self._abandon()
+            raise ShardLostError(self.shard, repr(exc)) from None
+        if not ok:
+            # The worker survived but the command failed — a programming
+            # error surfaced remotely, not an outage.
+            raise RuntimeError(f"shard {self.shard} command {method!r}: {payload}")
+        return payload
+
+    def _abandon(self) -> None:
+        self.alive = False
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        if self._process.is_alive():
+            self._process.terminate()
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        try:
+            self._conn.send(("close", ()))
+            if self._conn.poll(join_timeout):
+                self._conn.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        self._process.join(join_timeout)
+        if self._process.is_alive():  # pragma: no cover - unresponsive child
+            self._process.terminate()
+            self._process.join(join_timeout)
+
+    def kill(self) -> None:
+        """Hard-kill the worker process (chaos tests simulate an outage)."""
+        self.alive = self.alive and True  # router learns via ShardLostError
+        self._process.kill()
+        self._process.join(5.0)
+
+
+def start_shard_processes(
+    paged_path,
+    num_shards: int,
+    buffer_pages: int = 64,
+    shared: bool = True,
+    chaos: dict | None = None,
+    chaos_shard: int | None = None,
+    timeout: float = 30.0,
+    start_method: str = "spawn",
+) -> list[ProcessShard]:
+    """Spawn ``num_shards`` worker processes over one paged file.
+
+    All workers map the same file (``shared=True`` page views — one OS
+    page cache across the whole cluster); each will be sent only the keys
+    the router's partitioner assigns to it.  ``chaos`` applies the fault
+    spec to every shard, or to just ``chaos_shard`` when given.
+    """
+    ctx = mp.get_context(start_method)
+    shards: list[ProcessShard] = []
+    try:
+        for index in range(num_shards):
+            spec = {
+                "path": str(paged_path),
+                "buffer_pages": buffer_pages,
+                "shared": shared,
+                "shard": index,
+                "chaos": chaos
+                if chaos_shard is None or chaos_shard == index
+                else None,
+            }
+            parent, child = ctx.Pipe()
+            process = ctx.Process(
+                target=shard_worker_main,
+                args=(child, spec),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            shards.append(ProcessShard(process, parent, index, timeout=timeout))
+    except BaseException:
+        for shard in shards:
+            shard.close()
+        raise
+    return shards
+
+
+def start_inline_shards(
+    paged_path,
+    num_shards: int,
+    buffer_pages: int = 64,
+    shared: bool = True,
+    chaos: dict | None = None,
+    chaos_shard: int | None = None,
+) -> list[InlineShard]:
+    """In-process counterpart of :func:`start_shard_processes`."""
+    shards = []
+    for index in range(num_shards):
+        spec = {
+            "path": str(paged_path),
+            "buffer_pages": buffer_pages,
+            "shared": shared,
+            "chaos": chaos if chaos_shard is None or chaos_shard == index else None,
+        }
+        shards.append(InlineShard(ShardWorker(build_shard_store(spec), shard=index)))
+    return shards

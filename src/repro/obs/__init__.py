@@ -36,7 +36,7 @@ from repro.obs.convergence import (
     ConvergenceTrajectory,
 )
 from repro.obs.http import start_metrics_server
-from repro.obs.ledger import LEDGER, CostAccount, CostLedger
+from repro.obs.ledger import LEDGER, CostAccount, CostLedger, merge_cost_reports
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -79,6 +79,7 @@ __all__ = [
     "enabled",
     "export_portable",
     "get_recorder",
+    "merge_cost_reports",
     "profile_run",
     "set_enabled",
     "set_tracing",

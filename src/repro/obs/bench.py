@@ -223,6 +223,57 @@ def run_service_scenarios(seed: int = 0) -> dict:
         },
     )
 
+    # --- sharded cluster: 2-shard schedule merge ----------------------
+    # The same two overlapping batches through an inline 2-shard cluster
+    # (hash partitioner, shared paged file).  Counters are deterministic:
+    # the N-shard merge serves the exact single-process order, so
+    # retrievals/deliveries are pure functions of the seeds — and the
+    # per-shard split is fixed by the Fibonacci hash.
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.cluster import build_cluster
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        router = build_cluster(
+            storage,
+            _Path(tmp) / "bench.pages",
+            2,
+            process_shards=False,
+            buffer_pages=32,
+        )
+        try:
+            cluster_batches = [
+                partition_count_batch(
+                    relation.shape, (3, 3),
+                    rng=np.random.default_rng(seed + 10 + i),
+                )
+                for i in range(2)
+            ]
+            cluster_ids = [router.submit(batch) for batch in cluster_batches]
+            for session_id in cluster_ids:
+                router.run_to_completion(session_id)
+            cluster_metrics = router.metrics()
+            accounts = [
+                router._sessions[session_id].session.costs
+                for session_id in cluster_ids
+            ]
+            accounts += [
+                stub.costs
+                for shard in router._shards.values()
+                for stub, _ in shard._worker._stubs.values()
+            ]
+            scenarios["cluster_sharing"] = _account_result(
+                accounts,
+                extra_counters={
+                    "shard_retrievals": cluster_metrics.retrievals,
+                    "shard_deliveries": cluster_metrics.deliveries,
+                    "shards": cluster_metrics.num_shards,
+                },
+            )
+        finally:
+            router.close()
+
     # --- degraded-but-bounded mode ----------------------------------
     # Permanently black out a few keys under a zero-delay resilient
     # wrapper: retries and skips are deterministic (single client,

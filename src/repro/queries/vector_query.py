@@ -190,6 +190,23 @@ class QueryBatch:
         """Per-query labels (defaulting to ``q<i>``)."""
         return [q.label or f"q{i}" for i, q in enumerate(self.queries)]
 
+    def validate_for(self, shape: Sequence[int]) -> None:
+        """Raise ``ValueError`` unless every query range fits ``shape``.
+
+        The service front doors call this at submit so an out-of-domain
+        range fails with a message naming the offending query, instead of
+        surfacing as a shape error deep inside the rewrite cascade.
+        """
+        for i, q in enumerate(self.queries):
+            try:
+                q.rect.validate_for(shape)
+            except ValueError as exc:
+                label = q.label or f"q{i}"
+                raise ValueError(
+                    f"query {label!r} (index {i}) does not fit the "
+                    f"store's {'x'.join(str(s) for s in shape)} domain: {exc}"
+                ) from None
+
     def exact_dense(self, data: np.ndarray) -> np.ndarray:
         """Brute-force answers against a dense data array (test oracle)."""
         return np.array([q.evaluate_dense(data) for q in self.queries])

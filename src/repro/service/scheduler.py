@@ -232,6 +232,30 @@ class SharedRetrievalScheduler:
                 return self._serve(key)
             return None
 
+    def peek(self) -> tuple[float, int] | None:
+        """``(importance, key)`` of the entry :meth:`step` would serve next.
+
+        Prunes stale heap entries (cancelled sessions, re-prioritized
+        epochs, already-delivered keys) on the way, so the answer is the
+        live maximum.  Returns None when no session has pending work.
+        The cluster router merges shard schedules on exactly this view:
+        each shard worker exposes its scheduler's top, and the router
+        always serves the globally largest ``(importance, -key)``.
+        """
+        with self._lock:
+            while self._heap:
+                neg_iota, key, sid, epoch = self._heap[0]
+                reg = self._registrations.get(sid)
+                if (
+                    reg is None
+                    or reg.epoch != epoch
+                    or not reg.session.is_pending(key)
+                ):
+                    heapq.heappop(self._heap)
+                    continue
+                return (-neg_iota, key)
+            return None
+
     def advance_session(self, sid: int, k: int = 1, deadline: float | None = None) -> int:
         """Run shared steps until session ``sid`` gains ``k`` coefficients.
 

@@ -143,11 +143,15 @@ class ProgressiveQueryService:
 
         The session's master list immediately joins the shared schedule:
         keys another live session already fetched are served from the
-        coefficient cache as the schedule reaches them.  ``workers > 1``
+        coefficient cache as the schedule reaches them.  Query ranges are
+        validated against the store's domain up front — an out-of-bounds
+        batch raises ``ValueError`` here, not deep in the rewrite.
+        ``workers > 1``
         computes the batch's distinct rewrite factors on a process pool
         before assembly — worthwhile for cold caches on large domains, since
         submit latency is dominated by the rewrite front end.
         """
+        batch.validate_for(self.storage.shape)
         with self._lock, span("service.submit", queries=batch.size):
             t0 = time.perf_counter()
             session = ProgressiveSession(

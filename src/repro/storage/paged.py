@@ -160,6 +160,16 @@ class PagedCoefficientStore:
     buffer_pages:
         LRU buffer-pool capacity in pages.  Zero disables buffering (every
         page request reads the file).
+    shared:
+        When True, buffered pages are zero-copy *views* of the read-only
+        memmap instead of private copies.  Every process that opens the
+        same file with ``shared=True`` then reads through the operating
+        system's page cache — co-located shard workers share one physical
+        buffer pool instead of copying each page per process, and a write
+        to the file (e.g. a re-serialization through another mapping)
+        becomes visible to already-buffered pages without reopening.  The
+        default (False) keeps the original private-copy semantics: a
+        buffered page is immutable until evicted.
 
     All read paths are thread-safe: the buffer pool, the retrieval
     counters, and the underlying memmap are guarded by one lock, so many
@@ -171,12 +181,17 @@ class PagedCoefficientStore:
     version = 0
 
     def __init__(
-        self, path, buffer_pages: int = 64, registry: MetricRegistry | None = None
+        self,
+        path,
+        buffer_pages: int = 64,
+        registry: MetricRegistry | None = None,
+        shared: bool = False,
     ) -> None:
         if buffer_pages < 0:
             raise ValueError("buffer capacity must be non-negative")
         self.path = path
         self.buffer_pages = int(buffer_pages)
+        self.shared = bool(shared)
         self.registry = REGISTRY if registry is None else registry
         self._instance = str(next(_INSTANCE_IDS))
         with open(path, "rb") as fh:
@@ -213,20 +228,30 @@ class PagedCoefficientStore:
 
     @classmethod
     def from_store(
-        cls, store, path, page_size: int = 1024, buffer_pages: int = 64
+        cls,
+        store,
+        path,
+        page_size: int = 1024,
+        buffer_pages: int = 64,
+        shared: bool = False,
     ) -> "PagedCoefficientStore":
         """Serialize a :class:`CountingStore` (or anything with
         ``as_dense``) and open the result."""
         write_paged_file(path, store.as_dense(), page_size=page_size)
-        return cls(path, buffer_pages=buffer_pages)
+        return cls(path, buffer_pages=buffer_pages, shared=shared)
 
     @classmethod
     def from_dense(
-        cls, values: np.ndarray, path, page_size: int = 1024, buffer_pages: int = 64
+        cls,
+        values: np.ndarray,
+        path,
+        page_size: int = 1024,
+        buffer_pages: int = 64,
+        shared: bool = False,
     ) -> "PagedCoefficientStore":
         """Serialize a dense value vector and open the result."""
         write_paged_file(path, values, page_size=page_size)
-        return cls(path, buffer_pages=buffer_pages)
+        return cls(path, buffer_pages=buffer_pages, shared=shared)
 
     # ------------------------------------------------------------------
     # Reads (the CountingStore duck type)
@@ -359,9 +384,15 @@ class PagedCoefficientStore:
         with span("paged.fault", page=page):
             t0 = time.perf_counter()
             start = page * self.page_size
-            values = np.asarray(
-                self._mm[start : start + self.page_size], dtype=np.float64
-            ).copy()
+            window = self._mm[start : start + self.page_size]
+            # ``shared`` serves the mmap slice itself: the OS page cache
+            # is the buffer pool, shared across every process mapping the
+            # file, and external writes stay visible while buffered.
+            values = (
+                window
+                if self.shared
+                else np.asarray(window, dtype=np.float64).copy()
+            )
             self._fault_seconds.observe(time.perf_counter() - t0)
         if self.buffer_pages > 0:
             pool[page] = values

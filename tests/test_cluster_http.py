@@ -1,0 +1,224 @@
+"""The asyncio HTTP edge: session API, backpressure, chaos over HTTP."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterApiError,
+    ClusterBusyError,
+    ClusterClient,
+    ClusterHttpServer,
+    build_cluster,
+)
+from repro.queries.workload import partition_count_batch
+from repro.storage.wavelet_store import WaveletStorage
+
+
+@pytest.fixture(scope="module")
+def storage():
+    rng = np.random.default_rng(88)
+    data = rng.poisson(2.0, size=(32, 32)).astype(np.float64)
+    return WaveletStorage.build(data, wavelet="db2")
+
+
+def make_batch(seed: int):
+    return partition_count_batch(
+        (32, 32), (3, 3), rng=np.random.default_rng(seed)
+    )
+
+
+@pytest.fixture
+def edge(storage, tmp_path):
+    router = build_cluster(
+        storage, tmp_path / "edge.pages", 2,
+        process_shards=False, buffer_pages=16,
+    )
+    server = ClusterHttpServer(router, port=0).start_in_thread()
+    client = ClusterClient("127.0.0.1", server.port, timeout=30.0)
+    yield server, client
+    client.close()
+    server.close()
+
+
+class TestSessionApi:
+    def test_submit_advance_poll_cancel_round_trip(self, edge, storage):
+        server, client = edge
+        batch = make_batch(11)
+        sid = client.submit(batch)
+        assert sid in client.sessions()
+
+        out = client.advance(sid, 20)
+        assert out["gained"] == 20
+        snap = client.poll(sid)
+        assert snap["steps_taken"] == 20 and not snap["is_exact"]
+
+        # The HTTP snapshot is bit-equal to the router's own poll —
+        # JSON floats round-trip exactly.
+        direct = server.router.poll(sid)
+        np.testing.assert_array_equal(snap["estimates"], direct.estimates)
+        assert snap["worst_case_bound"] == direct.worst_case_bound
+
+        while not snap["is_exact"]:
+            if client.advance(sid, 64)["gained"] == 0:
+                break
+            snap = client.poll(sid)
+        assert snap["is_exact"] and snap["remaining"] == 0
+
+        client.cancel(sid)
+        assert client.sessions() == []
+        with pytest.raises(ClusterApiError) as err:
+            client.poll(sid)
+        assert err.value.status == 404
+
+    def test_penalty_switch_and_retry_endpoints(self, edge):
+        _, client = edge
+        sid = client.submit(make_batch(13), penalty={"kind": "lp", "p": 1.0})
+        client.advance(sid, 10)
+        snap = client.set_penalty(
+            sid, {"kind": "cursored_sse", "high_priority": [0, 1]}
+        )
+        assert snap["steps_taken"] == 10
+        assert client.retry_skipped(sid) == 0  # healthy session
+        client.cancel(sid)
+
+    def test_submit_validates_domain_over_http(self, edge):
+        _, client = edge
+        with pytest.raises(ClusterApiError) as err:
+            client.submit({
+                "queries": [
+                    {"kind": "count", "rect": [[0, 99], [0, 15]],
+                     "label": "huge"},
+                ]
+            })
+        assert err.value.status == 400
+        assert "huge" in err.value.api_message
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"queries": []},
+            {"queries": [{"kind": "median", "rect": [[0, 3], [0, 3]]}]},
+            {"queries": [{"kind": "sum", "rect": [[0, 3], [0, 3]]}]},
+            {"queries": [{"kind": "count", "rect": "nope"}]},
+        ],
+    )
+    def test_malformed_submissions_are_400(self, edge, payload):
+        _, client = edge
+        with pytest.raises(ClusterApiError) as err:
+            client.submit(payload)
+        assert err.value.status == 400
+
+    def test_unknown_routes_and_methods(self, edge):
+        _, client = edge
+        with pytest.raises(ClusterApiError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+        with pytest.raises(ClusterApiError) as err:
+            client._request("PUT", "/sessions")
+        assert err.value.status == 405
+
+
+class TestObservability:
+    def test_metrics_costs_and_healthz(self, edge):
+        _, client = edge
+        sid = client.submit(make_batch(17))
+        client.advance(sid, 12)
+        text = client.metrics_text()
+        assert "repro_cluster_sessions_submitted_total" in text
+        assert "repro_cluster_shard_up" in text
+        costs = client.costs()
+        assert sid in costs
+        report = client.session_costs(sid)
+        assert report["counters"]["deliveries"] >= 12
+        health = client.healthz()
+        assert [s["up"] for s in health["shards"]] == [True, True]
+        assert health["partitioner"]["kind"] == "hash"
+        assert health["max_inflight"] == 32
+        client.cancel(sid)
+
+
+class TestBackpressure:
+    def test_admission_control_rejects_with_retry_after(
+        self, storage, tmp_path
+    ):
+        router = build_cluster(
+            storage, tmp_path / "bp.pages", 2,
+            process_shards=False, buffer_pages=16,
+        )
+        # max_inflight=0: every session-facing request is shed at the
+        # door — the deterministic way to exercise the 429 path.
+        server = ClusterHttpServer(
+            router, port=0, max_inflight=0, retry_after=2.5
+        ).start_in_thread()
+        client = ClusterClient("127.0.0.1", server.port)
+        try:
+            with pytest.raises(ClusterBusyError) as err:
+                client.submit(make_batch(19))
+            assert err.value.status == 429
+            assert err.value.retry_after == 2.5
+            # Observability bypasses admission: still visible when full.
+            assert client.healthz()["shards"]
+            assert "repro_cluster_http_rejected_total" in client.metrics_text()
+        finally:
+            client.close()
+            server.close()
+
+    def test_shard_blackout_degrades_over_http(self, storage, tmp_path):
+        chaos = {
+            "seed": 23,
+            "transient_rate": 0.0,
+            "blackout_keys": list(range(0, 1024, 3)),
+            "max_attempts": 2,
+        }
+        router = build_cluster(
+            storage, tmp_path / "deg.pages", 2,
+            process_shards=False, buffer_pages=16,
+            chaos=chaos, chaos_shard=0,
+        )
+        server = ClusterHttpServer(router, port=0).start_in_thread()
+        client = ClusterClient("127.0.0.1", server.port)
+        try:
+            sid = client.submit(make_batch(29))
+            while client.advance(sid, 64)["gained"]:
+                pass
+            snap = client.poll(sid)
+            assert snap["degraded"] and snap["skipped_count"] > 0
+            assert not snap["is_exact"]
+            assert 0.0 < snap["worst_case_bound"] < float("inf")
+        finally:
+            client.close()
+            server.close()
+
+
+class TestWireFormat:
+    def test_bad_json_body_is_400_not_500(self, edge):
+        server, _ = edge
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        conn.request(
+            "POST", "/sessions", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 400
+        assert "bad JSON" in body["error"]
+        conn.close()
+
+    def test_keep_alive_serves_multiple_requests(self, edge):
+        server, _ = edge
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        for _ in range(3):
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            response.read()
+        conn.close()

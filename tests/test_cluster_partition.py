@@ -1,0 +1,114 @@
+"""Unit tests for the deterministic key partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.partition import (
+    HashPartitioner,
+    LevelRangePartitioner,
+    Partitioner,
+    make_partitioner,
+)
+
+
+@pytest.mark.parametrize("cls", [HashPartitioner, LevelRangePartitioner])
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 7])
+class TestPlacement:
+    def test_every_key_lands_on_exactly_one_shard(self, cls, num_shards):
+        part = cls(num_shards, 1024)
+        keys = np.arange(1024, dtype=np.int64)
+        owners = part.shard_of(keys)
+        assert owners.shape == keys.shape
+        assert owners.min() >= 0 and owners.max() < num_shards
+
+    def test_placement_is_deterministic_across_instances(self, cls, num_shards):
+        keys = np.arange(0, 1024, 3, dtype=np.int64)
+        a = cls(num_shards, 1024).shard_of(keys)
+        b = cls(num_shards, 1024).shard_of(keys)
+        np.testing.assert_array_equal(a, b)
+
+    def test_split_partitions_and_preserves_order(self, cls, num_shards):
+        part = cls(num_shards, 4096)
+        rng = np.random.default_rng(7)
+        keys = rng.choice(4096, size=300, replace=False).astype(np.int64)
+        iotas = rng.random(300)
+        subsets = part.split(keys, iotas)
+        assert len(subsets) == num_shards
+        seen = []
+        for shard, (sub_keys, sub_iotas) in enumerate(subsets):
+            assert sub_keys.size == sub_iotas.size
+            np.testing.assert_array_equal(
+                part.shard_of(sub_keys), np.full(sub_keys.size, shard)
+            )
+            # Order preserved within the shard: positions are increasing.
+            lookup = {int(k): i for i, k in enumerate(keys)}
+            positions = [lookup[int(k)] for k in sub_keys]
+            assert positions == sorted(positions)
+            seen.extend(sub_keys.tolist())
+        assert sorted(seen) == sorted(keys.tolist())
+
+    def test_keys_outside_the_space_are_rejected(self, cls, num_shards):
+        part = cls(num_shards, 64)
+        with pytest.raises(KeyError):
+            part.shard_of(np.array([64], dtype=np.int64))
+        with pytest.raises(KeyError):
+            part.shard_of(np.array([-1], dtype=np.int64))
+
+
+class TestHashScatter:
+    def test_reasonable_balance_over_the_key_space(self):
+        part = HashPartitioner(4, 4096)
+        owners = part.shard_of(np.arange(4096, dtype=np.int64))
+        counts = np.bincount(owners, minlength=4)
+        # The Fibonacci hash spreads keys: no shard hoards or starves.
+        assert counts.min() > 4096 // 4 * 0.5
+        assert counts.max() < 4096 // 4 * 1.5
+
+    def test_coarse_head_is_spread_across_shards(self):
+        # The first 32 keys (coarsest wavelet levels, the schedule head)
+        # must not pile onto one shard — that is the point of hashing.
+        part = HashPartitioner(4, 1024)
+        owners = part.shard_of(np.arange(32, dtype=np.int64))
+        assert len(set(owners.tolist())) >= 3
+
+
+class TestLevelRange:
+    def test_contiguous_ranges(self):
+        part = LevelRangePartitioner(4, 1024)
+        owners = part.shard_of(np.arange(1024, dtype=np.int64))
+        # Non-decreasing owner sequence == contiguous ranges.
+        assert (np.diff(owners) >= 0).all()
+        assert np.bincount(owners, minlength=4).tolist() == [256] * 4
+
+    def test_shard_zero_owns_the_coarsest_keys(self):
+        part = LevelRangePartitioner(4, 1024)
+        assert part.shard_of(np.arange(16, dtype=np.int64)).tolist() == [0] * 16
+
+
+class TestFactory:
+    def test_make_partitioner_by_kind(self):
+        assert isinstance(make_partitioner("hash", 2, 64), HashPartitioner)
+        assert isinstance(make_partitioner("range", 2, 64), LevelRangePartitioner)
+
+    def test_unknown_kind_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            make_partitioner("round-robin", 2, 64)
+
+    def test_describe_round_trips_the_config(self):
+        part = make_partitioner("hash", 3, 512)
+        assert part.describe() == {
+            "kind": "hash",
+            "num_shards": 3,
+            "key_space_size": 512,
+        }
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_shard_count_must_be_positive(self, bad):
+        with pytest.raises(ValueError):
+            Partitioner(bad, 64)
+
+    def test_key_space_must_be_non_empty(self):
+        with pytest.raises(ValueError):
+            Partitioner(2, 0)

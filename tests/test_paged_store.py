@@ -203,3 +203,94 @@ class TestAsLinearStorageBackend:
         assert paged.store.stats.retrievals == storage.store.stats.retrievals
         assert paged.total_l1() == pytest.approx(storage.total_l1())
         paged.store.close()
+
+
+class TestSharedMapping:
+    """The ``shared=`` flag: mmap-backed page views across processes."""
+
+    WRITER = (
+        "import struct, sys\n"
+        "path, offset, value = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])\n"
+        "with open(path, 'r+b') as fh:\n"
+        "    fh.seek(offset)\n"
+        "    fh.write(struct.pack('<d', value))\n"
+        "    fh.flush()\n"
+    )
+
+    def _rewrite_key_in_subprocess(self, path, key: int, value: float) -> None:
+        import subprocess
+        import sys
+
+        from repro.storage.paged import _HEADER_SIZE
+
+        result = subprocess.run(
+            [
+                sys.executable, "-c", self.WRITER,
+                str(path), str(_HEADER_SIZE + key * 8), repr(value),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_two_processes_one_write_through_shared_mapping(
+        self, values, tmp_path
+    ):
+        """A reader process sees another process's write without refetching.
+
+        The shard workers rely on this: every worker opens the paged file
+        ``shared=True``, so pages live once in the OS page cache instead
+        of being copied into each worker's pool — which also means an
+        external writer is visible through already-buffered pages.
+        """
+        path = tmp_path / "shared.pages"
+        store = PagedCoefficientStore.from_dense(
+            values, path, page_size=64, buffer_pages=4, shared=True
+        )
+        key = 7
+        np.testing.assert_array_equal(
+            store.fetch(np.array([key])), values[[key]]
+        )
+        assert store.buffered_pages == 1  # the page is pooled...
+        self._rewrite_key_in_subprocess(path, key, 123.5)
+        # ...yet the write is visible: the pool holds mmap views, and the
+        # mapping is shared with the writing process via the page cache.
+        np.testing.assert_array_equal(store.fetch(np.array([key])), [123.5])
+        np.testing.assert_array_equal(store.peek(np.array([key])), [123.5])
+        store.close()
+
+    def test_copy_mode_keeps_private_buffers(self, values, tmp_path):
+        """Default (non-shared) pools copy pages: external writes are NOT
+        visible through a buffered page — the contrast that makes the
+        shared-mode regression test above meaningful."""
+        path = tmp_path / "private.pages"
+        store = PagedCoefficientStore.from_dense(
+            values, path, page_size=64, buffer_pages=4, shared=False
+        )
+        key = 7
+        store.fetch(np.array([key]))  # buffer the page as a copy
+        self._rewrite_key_in_subprocess(path, key, 321.25)
+        np.testing.assert_array_equal(
+            store.fetch(np.array([key])), values[[key]]
+        )
+        store.close()
+
+    def test_shared_flag_threads_through_constructors(self, values, tmp_path):
+        from repro.storage.counter import CountingStore
+
+        a = PagedCoefficientStore.from_dense(
+            values, tmp_path / "a.pages", shared=True
+        )
+        b = PagedCoefficientStore.from_store(
+            CountingStore(values.size, values=values),
+            tmp_path / "b.pages",
+            shared=True,
+        )
+        c = PagedCoefficientStore(tmp_path / "a.pages")
+        assert a.shared and b.shared and not c.shared
+        keys = np.arange(values.size)
+        np.testing.assert_array_equal(a.fetch(keys), values)
+        np.testing.assert_array_equal(b.fetch(keys), values)
+        for store in (a, b, c):
+            store.close()

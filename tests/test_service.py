@@ -111,6 +111,19 @@ class TestLifecycle:
         answers = service.run_to_completion(session_id)
         assert np.array_equal(answers, BatchBiggestB(storage, batches[0]).run())
 
+    def test_submit_rejects_out_of_domain_batch(self, storage):
+        from repro.queries.range import HyperRect
+        from repro.queries.vector_query import QueryBatch, VectorQuery
+
+        service = ProgressiveQueryService(storage)
+        bad = QueryBatch(
+            [VectorQuery.count(HyperRect(((0, 99), (0, 7))), label="huge")]
+        )
+        with pytest.raises(ValueError, match="huge"):
+            service.submit(bad)
+        # Nothing leaked: the rejected batch never became a session.
+        assert service.metrics().live_sessions == 0
+
     def test_unknown_session_rejected(self, storage):
         service = ProgressiveQueryService(storage)
         with pytest.raises(KeyError):
