@@ -625,6 +625,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for problem in problems:
             print(f"SCHEMA ERROR: {problem}", file=sys.stderr)
         return 1
+    engine_problems = bench.vectorized_gate(documents["progressive"])
+    if engine_problems:
+        for problem in engine_problems:
+            print(f"ENGINE GATE: {problem}", file=sys.stderr)
+        return 1
     if args.baseline_dir is None:
         print("no --baseline-dir given; regression gate skipped")
         return 0

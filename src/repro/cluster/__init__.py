@@ -92,6 +92,7 @@ def build_cluster(
     timeout: float = 30.0,
     start_method: str = "spawn",
     registry=None,
+    chunk_size: int | None = None,
 ) -> ClusterRouter:
     """Serialize ``storage`` to a paged file and stand up an N-shard router.
 
@@ -131,9 +132,11 @@ def build_cluster(
             chaos=chaos,
             chaos_shard=chaos_shard,
         )
+    kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
     return ClusterRouter(
         storage.with_store(router_store),
         shards,
         make_partitioner(partitioner, num_shards, router_store.key_space_size),
         registry=registry,
+        **kwargs,
     )

@@ -43,7 +43,7 @@ import numpy as np
 from repro.cluster.partition import Partitioner
 from repro.cluster.worker import DELIVER, ShardLostError
 from repro.core.penalties import Penalty
-from repro.core.session import ProgressiveSession
+from repro.core.session import DEFAULT_CHUNK, ProgressiveSession
 from repro.obs import LEDGER, REGISTRY, MetricRegistry, span
 from repro.obs.ledger import merge_cost_reports
 from repro.queries.vector_query import QueryBatch
@@ -97,9 +97,15 @@ class ClusterRouter:
         shards,
         partitioner: Partitioner,
         registry: MetricRegistry | None = None,
+        chunk_size: int = DEFAULT_CHUNK,
     ) -> None:
         if not shards:
             raise ValueError("a cluster needs at least one shard")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        #: Keys served per shard round-trip by :meth:`advance`; 1
+        #: reproduces the per-key merge loop literally.
+        self.chunk_size = int(chunk_size)
         if partitioner.num_shards != len(shards):
             raise ValueError(
                 f"partitioner expects {partitioner.num_shards} shards, "
@@ -208,6 +214,15 @@ class ClusterRouter:
         it, every interested session receives it, and the call returns
         early at exhaustion, on shard loss (the affected keys degrade to
         skipped), or once the wall-clock ``deadline`` elapses.
+
+        Each iteration serves the best shard a *chunk* of up to
+        ``chunk_size`` keys in one round-trip instead of one: the shard
+        keeps serving while its schedule top outranks the runner-up
+        shard's top (tops never move while another shard serves, so every
+        key in the chunk is exactly a key the per-key merge would have
+        routed there next) and stops once the target session would gain
+        the remaining ``k``.  The events come back in serve order and are
+        applied to the authoritative sessions in vectorized runs.
         """
         if k < 0:
             raise ValueError("k must be non-negative")
@@ -221,13 +236,24 @@ class ClusterRouter:
                 index = self._best_shard()
                 if index is None:
                     break
+                floor = self._runner_up(index)
+                need = k - (session.steps_taken - start)
+                if not session.skipped_count:
+                    # Stop the chunk at the key that turns the target
+                    # exact, exactly where the per-key loop would stop.
+                    need = min(need, session.remaining)
+                prev_top = self._tops[index]
                 try:
-                    events, top = self._shards[index].call("step", session_id)
+                    events, top = self._shards[index].call(
+                        "step_chunk", session_id, need, floor, self.chunk_size
+                    )
                 except ShardLostError:
                     self._shed_shard(index)
                     continue
                 self._tops[index] = top
                 self._apply_events(events)
+                if not events and top == prev_top:
+                    break  # defensive: a stuck shard must not spin the loop
             self._advance_seconds.observe(time.perf_counter() - t0)
             return session.steps_taken - start
 
@@ -487,15 +513,51 @@ class ClusterRouter:
                 best_index = index
         return best_index
 
+    def _runner_up(self, exclude: int) -> tuple[float, int] | None:
+        """The best live ``(importance, key)`` top *excluding* one shard —
+        the floor below which that shard must stop serving its chunk."""
+        best = None
+        best_rank: tuple[float, int] | None = None
+        for index, top in self._tops.items():
+            if index == exclude or index in self._dead or top is None:
+                continue
+            rank = (-float(top[0]), int(top[1]))
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best = (float(top[0]), int(top[1]))
+        return best
+
     def _apply_events(self, events) -> None:
-        for kind, session_id, key, value in events:
+        """Replay a chunk's event stream on the authoritative sessions.
+
+        Consecutive deliveries to one session (the shape the shard's
+        chunked serve emits) are applied as a single
+        :meth:`ProgressiveSession.deliver_many` — bit-identical to
+        applying them one at a time, per-key bound records included.
+        Skips stay per-key so degraded state lands in serve order.
+        """
+        i, n = 0, len(events)
+        while i < n:
+            kind, session_id, key, value = events[i]
             record = self._sessions.get(session_id)
-            if record is None:
-                continue  # cancelled while the reply was in flight
-            if kind == DELIVER:
-                record.session.deliver(int(key), float(value))
-            else:
-                record.session.skip(int(key))
+            if kind != DELIVER:
+                if record is not None:  # else: cancelled while in flight
+                    record.session.skip(int(key))
+                i += 1
+                continue
+            j = i + 1
+            while j < n and events[j][0] == DELIVER and events[j][1] == session_id:
+                j += 1
+            if record is not None:
+                if j - i == 1:
+                    record.session.deliver(int(key), float(value))
+                else:
+                    run = events[i:j]
+                    record.session.deliver_many(
+                        np.array([int(e[2]) for e in run], dtype=np.int64),
+                        np.array([float(e[3]) for e in run]),
+                    )
+            i = j
 
     def _shed_shard(self, index: int) -> None:
         """Degrade every session's keys owned by a lost shard."""

@@ -100,6 +100,20 @@ class ShardSessionStub:
         self._outbox.append((SKIP, self.sid, key, 0.0))
         return True
 
+    def deliver_many(self, keys, coefficients) -> np.ndarray:
+        """Per-key :meth:`deliver` in order (the chunked-serve surface).
+
+        The stub's per-key cost is two dict operations, so the chunked
+        scheduler gains nothing from vectorizing it; what matters is that
+        the outbox records the deliveries in serve order for the router
+        to replay on the authoritative sessions.
+        """
+        return np.fromiter(
+            (self.deliver(int(k), float(c)) for k, c in zip(keys, coefficients)),
+            dtype=bool,
+            count=len(keys),
+        )
+
     # -- router-driven state updates -----------------------------------
 
     def set_pending(self, keys, importance) -> None:
@@ -173,6 +187,36 @@ class ShardWorker:
                 self.scheduler.step()
         else:
             self.scheduler.step()
+        events, self._outbox[:] = list(self._outbox), ()
+        return events, self.peek()
+
+    def step_chunk(
+        self,
+        charge_sid: str | None = None,
+        need: int | None = None,
+        floor: tuple[float, int] | None = None,
+        limit: int = 1,
+    ) -> tuple[list[tuple], tuple[float, int] | None]:
+        """Serve up to ``limit`` coefficients in one pipe round-trip.
+
+        The chunked counterpart of :meth:`step`: serves this shard's
+        schedule in local importance order while its top outranks
+        ``floor`` — the router passes the best *other* shard's
+        ``(importance, key)`` top, so every key served here is exactly a
+        key the per-key merge would have routed to this shard next —
+        and stops early once ``need`` keys pending for ``charge_sid``'s
+        stub have been served.  Returns ``(events, top)`` like
+        :meth:`step`, with the events of the whole chunk in serve order.
+        """
+        entry = self._stubs.get(charge_sid) if charge_sid is not None else None
+        if entry is not None:
+            account = entry[0].costs
+            with _charge_to(account), account.stage("schedule"):
+                self.scheduler.serve_chunk(
+                    limit, target_sid=entry[1], need=need, floor=floor
+                )
+        else:
+            self.scheduler.serve_chunk(limit, floor=floor)
         events, self._outbox[:] = list(self._outbox), ()
         return events, self.peek()
 

@@ -178,7 +178,6 @@ class BatchBiggestB:
             for pos in range(self.plan.num_keys)
         ]
         heapq.heapify(heap)
-        entry_order, offsets = self.plan.csr_by_key()
         estimates = np.zeros(self.plan.batch_size)
         step = 0
         # Step 5: extract the maxima, retrieve chunked, advance each query.
@@ -213,13 +212,27 @@ class BatchBiggestB:
             self.costs.add(
                 retrievals=len(chunk), skipped_keys=requested - len(chunk)
             )
-            for (neg_iota, key, pos), coefficient in zip(chunk, coefficients):
+            # One concatenated-CSR gather for the surviving chunk; the
+            # per-key slices below are views into it, so the yield-per-step
+            # surface keeps its semantics without re-slicing the CSR
+            # arrays key by key.
+            entries, counts = self.plan.chunk_segments(
+                np.array([pos for _, _, pos in chunk], dtype=np.int64)
+            )
+            edges = np.concatenate(([0], np.cumsum(counts)))
+            chunk_qids = self.plan.entry_qid[entries]
+            chunk_vals = self.plan.entry_val[entries]
+            for i, ((neg_iota, key, pos), coefficient) in enumerate(
+                zip(chunk, coefficients)
+            ):
                 coefficient = float(coefficient)
                 with self.costs.stage("apply"):
-                    segment = entry_order[offsets[pos] : offsets[pos + 1]]
-                    qids = self.plan.entry_qid[segment]
-                    vals = self.plan.entry_val[segment]
-                    np.add.at(estimates, qids, vals * coefficient)
+                    segment = slice(edges[i], edges[i + 1])
+                    np.add.at(
+                        estimates,
+                        chunk_qids[segment],
+                        chunk_vals[segment] * coefficient,
+                    )
                 step += 1
                 yield ProgressiveStep(
                     step=step,

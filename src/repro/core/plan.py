@@ -149,6 +149,32 @@ class QueryPlan:
             self._csr_cache = (entry_order, offsets)
         return self._csr_cache
 
+    def chunk_segments(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated CSR segments for a chunk of key positions.
+
+        Returns ``(entries, counts)``: ``entries`` indexes the
+        ``entry_*`` arrays, grouped by key position in the order given,
+        and ``counts[i]`` is the segment length of ``positions[i]``.
+        The batched apply paths (``ProgressiveSession.deliver_many``,
+        the scheduler's chunked serve, ``BatchBiggestB.steps``) gather a
+        whole chunk's estimate updates through one fancy index instead
+        of slicing the CSR arrays once per key.  Applying the entries in
+        this order is bit-identical to applying the keys one at a time:
+        ``np.add.at`` accumulates element by element in array order.
+        """
+        entry_order, offsets = self.csr_by_key()
+        positions = np.asarray(positions, dtype=np.int64)
+        starts = offsets[positions]
+        counts = offsets[positions + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), counts
+        # Vectorized concatenation of the [starts[i], starts[i]+counts[i])
+        # ranges: a global arange shifted per segment.
+        ends = np.cumsum(counts)
+        shift = np.repeat(starts - (ends - counts), counts)
+        return entry_order[np.arange(total, dtype=np.int64) + shift], counts
+
     def exact_estimates(self, coefficients_by_key: np.ndarray) -> np.ndarray:
         """Final answers given the data coefficient of every master key."""
         coefficients_by_key = np.asarray(coefficients_by_key, dtype=np.float64)

@@ -49,6 +49,12 @@ from repro.queries.vector_query import QueryBatch
 from repro.storage.base import LinearStorage
 from repro.storage.resilient import RetrievalError
 
+#: Keys fetched per store gather when a wall-clock deadline bounds an
+#: :meth:`ProgressiveSession.advance` call (without one, the whole
+#: request is a single gather).  Also the default serve-chunk size of
+#: :class:`~repro.service.scheduler.SharedRetrievalScheduler`.
+DEFAULT_CHUNK = 64
+
 
 class ProgressiveSession:
     """A pausable, re-targetable progressive batch evaluation."""
@@ -191,22 +197,38 @@ class ProgressiveSession:
     # Control
     # ------------------------------------------------------------------
 
-    def advance(self, k: int = 1, deadline: float | None = None) -> int:
+    def advance(
+        self, k: int = 1, deadline: float | None = None, chunk: int | None = None
+    ) -> int:
         """Retrieve the next ``k`` most important coefficients.
 
         Returns how many were actually retrieved (less than ``k`` when
         the master list runs out, the ``deadline`` expires, or the store
         abandons fetches).
 
+        The importance-ordered heap maxima are popped in chunks and each
+        chunk is fetched with **one** store gather, then applied with one
+        vectorized pass — answers, retrieval order, counters, and the
+        Theorem-1 bound after every coefficient are identical to the
+        one-key-at-a-time loop (``chunk=1`` reproduces it literally).
+        Without a ``deadline`` the whole request is a single gather;
+        under a deadline the chunk is capped so a slow store is
+        re-checked against the clock every few keys.
+
         ``deadline`` is a wall-clock budget in seconds for this call: no
         new fetch is started once it has elapsed, so a slow store costs
         latency, never correctness (the un-fetched keys simply stay
-        pending).  A fetch the store gives up on permanently
-        (:class:`~repro.storage.resilient.RetrievalError`) marks the key
-        skipped — see :meth:`retry_skipped` — instead of raising.
+        pending).  A gather the store gives up on permanently
+        (:class:`~repro.storage.resilient.RetrievalError`) is re-fetched
+        key by key and only the still-failing keys are marked skipped —
+        see :meth:`retry_skipped` — instead of raising.
         """
         if k < 0:
             raise ValueError("k must be non-negative")
+        if chunk is not None and chunk < 1:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        if chunk is None:
+            chunk = k if deadline is None else DEFAULT_CHUNK
         start = time.monotonic() if deadline is not None else 0.0
         done = 0
         # Bind this session's account to the thread so deep layers (the
@@ -215,22 +237,77 @@ class ProgressiveSession:
             while done < k and self._heap:
                 if deadline is not None and time.monotonic() - start >= deadline:
                     break
-                neg_iota, key, pos = heapq.heappop(self._heap)
-                if self._retrieved[pos] or self._skipped[pos]:
-                    continue  # stale entry from a penalty switch or a delivery
-                try:
-                    with self.costs.stage("fetch"):
-                        coefficient = float(
-                            self.storage.store.fetch(np.array([key]))[0]
-                        )
-                except RetrievalError:
-                    self.costs.add(skipped_keys=1)
-                    self._mark_skipped(pos)
-                    continue
-                self.costs.add(retrievals=1)
-                self._apply(pos, coefficient)
-                done += 1
+                batch: list[tuple[int, int]] = []  # (key, pos) in heap order
+                while len(batch) < min(chunk, k - done) and self._heap:
+                    neg_iota, key, pos = heapq.heappop(self._heap)
+                    if self._retrieved[pos] or self._skipped[pos]:
+                        continue  # stale entry: penalty switch or delivery
+                    batch.append((key, pos))
+                if not batch:
+                    break
+                done += self._fetch_apply(batch)
         return done
+
+    def _fetch_apply(self, batch: list[tuple[int, int]]) -> int:
+        """Gather-fetch popped ``(key, pos)`` entries and apply them.
+
+        One ``store.fetch`` for the whole chunk; an abandoned gather
+        degrades to per-key fetches so one unavailable key skips only
+        itself (a one-key chunk *is* its own per-key fetch and is marked
+        skipped directly, preserving the scalar loop's exact store-call
+        pattern).  Applies run in heap order as maximal runs between
+        failed keys, so estimates, counters and bound records are
+        bit-identical to the scalar loop.  Returns the applied count.
+        """
+        keys = np.array([key for key, _ in batch], dtype=np.int64)
+        values: np.ndarray | None = None
+        failed: set[int] = set()
+        try:
+            with self.costs.stage("fetch"):
+                values = self.storage.store.fetch(keys)
+        except RetrievalError:
+            if len(batch) == 1:
+                failed.add(batch[0][0])
+            else:
+                kept: list[float] = []
+                for key, _ in batch:
+                    try:
+                        with self.costs.stage("fetch"):
+                            kept.append(
+                                float(
+                                    self.storage.store.fetch(
+                                        np.array([key], dtype=np.int64)
+                                    )[0]
+                                )
+                            )
+                    except RetrievalError:
+                        failed.add(key)
+                values = np.array(kept)
+        applied = 0
+        run: list[int] = []  # positions of an unbroken run of fetched keys
+        run_coeffs: list[float] = []
+        cursor = 0
+        for key, pos in batch:
+            if key in failed:
+                self._flush_run(run, run_coeffs)
+                applied += len(run)
+                run, run_coeffs = [], []
+                self.costs.add(skipped_keys=1)
+                self._mark_skipped(pos)
+            else:
+                run.append(pos)
+                run_coeffs.append(float(values[cursor]))
+                cursor += 1
+        self._flush_run(run, run_coeffs)
+        return applied + len(run)
+
+    def _flush_run(self, positions: list[int], coefficients: list[float]) -> None:
+        if not positions:
+            return
+        self.costs.add(retrievals=len(positions))
+        self._apply_batch(
+            np.array(positions, dtype=np.int64), np.array(coefficients)
+        )
 
     def deliver(self, key: int, coefficient: float) -> bool:
         """Apply a coefficient retrieved externally (scheduler hook).
@@ -250,6 +327,49 @@ class ProgressiveSession:
         self.costs.add(deliveries=1)
         self._apply(pos, float(coefficient))
         return True
+
+    def deliver_many(self, keys, coefficients) -> np.ndarray:
+        """Apply a chunk of externally retrieved coefficients at once.
+
+        The vectorized form of :meth:`deliver` used by the chunked
+        scheduler engine: one position lookup, one estimate update and
+        one ledger charge for the whole chunk instead of per key.  The
+        keys must be distinct; they are applied in the order given, so
+        estimates, counters, and the per-coefficient Theorem-1 bound
+        records are bit-identical to calling :meth:`deliver` in a loop.
+        Returns a boolean mask saying which keys were pending (False:
+        not in the master list, or already held).
+        """
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        coefficients = np.asarray(coefficients, dtype=np.float64).ravel()
+        if keys.size != coefficients.size:
+            raise ValueError("keys and coefficients must align")
+        if keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        if np.unique(keys).size != keys.size:
+            raise ValueError("deliver_many requires distinct keys")
+        pos = np.minimum(
+            np.searchsorted(self.plan.keys, keys), self.plan.num_keys - 1
+        )
+        applied = (self.plan.keys[pos] == keys) & ~self._retrieved[pos]
+        if not applied.any():
+            return applied
+        apos = pos[applied]
+        acoeff = coefficients[applied]
+        skipped_max_seq: np.ndarray | None = None
+        if self._skipped[apos].any():
+            # Keys came back (another session's fetch succeeded after
+            # ours was abandoned): un-skip in delivery order, tracking
+            # the bound mass the scalar loop would have seen *per key* —
+            # the convergence records depend on it.
+            skipped_max_seq = np.empty(apos.size)
+            for i, p in enumerate(apos.tolist()):
+                if self._skipped[p]:
+                    self._unmark_skipped(int(p))
+                skipped_max_seq[i] = self._skipped_max_iota
+        self.costs.add(deliveries=int(apos.size))
+        self._apply_batch(apos, acoeff, skipped_max_seq)
+        return applied
 
     def skip(self, key: int) -> bool:
         """Mark ``key`` unavailable (scheduler hook for abandoned fetches).
@@ -394,6 +514,70 @@ class ProgressiveSession:
                 ),
                 worst_case_bound=self.worst_case_bound(),
             )
+
+    def _apply_batch(
+        self,
+        positions: np.ndarray,
+        coefficients: np.ndarray,
+        skipped_max_seq: np.ndarray | None = None,
+    ) -> None:
+        """Vectorized :meth:`_apply` for a chunk of key positions.
+
+        One concatenated-CSR gather and one ``np.add.at`` update the
+        estimates for the whole chunk; because ``np.add.at`` accumulates
+        element by element in array order, the floating-point result is
+        bit-identical to applying the keys one at a time in the same
+        order.  The convergence records are reconstructed per key: after
+        the chunk is marked retrieved, the most important *unused*
+        coefficient at step ``i`` is the max of the pruned heap top (all
+        keys outside this chunk) and the chunk's own importance suffix
+        ``i+1:``, with ``skipped_max_seq`` carrying the per-key skipped
+        bound mass when the chunk un-skipped keys on the way.
+        """
+        n = int(positions.size)
+        base_steps = self._steps_taken
+        with self.costs.stage("apply"):
+            entries, counts = self.plan.chunk_segments(positions)
+            np.add.at(
+                self.estimates,
+                self.plan.entry_qid[entries],
+                self.plan.entry_val[entries] * np.repeat(coefficients, counts),
+            )
+            self._retrieved[positions] = True
+            self._coefficients[positions] = coefficients
+            self._steps_taken += n
+        if _telemetry_enabled():
+            stats = getattr(self.storage.store, "stats", None)
+            retrievals = int(stats.retrievals) if stats is not None else 0
+            self._prune_heap()
+            rest = -self._heap[0][0] if self._heap else 0.0
+            version = getattr(self.storage.store, "version", None)
+            if self._k_const is None or version != self._k_const_version:
+                self._k_const = self.storage.total_l1()
+                self._k_const_version = version
+            k_alpha = self._k_const**self.penalty.homogeneity
+            iotas = self._importance[positions]
+            for i in range(n):
+                next_iota = rest
+                if i + 1 < n:
+                    tail = float(iotas[i + 1 :].max())
+                    if tail > next_iota:
+                        next_iota = tail
+                skipped_max = (
+                    float(skipped_max_seq[i])
+                    if skipped_max_seq is not None
+                    else self._skipped_max_iota
+                )
+                if self._skipped_count or skipped_max_seq is not None:
+                    if skipped_max > next_iota:
+                        next_iota = skipped_max
+                self.convergence.record(
+                    steps_taken=base_steps + i + 1,
+                    retrievals=retrievals if stats is not None else base_steps + i + 1,
+                    worst_case_bound=(
+                        0.0 if next_iota <= 0.0 else float(k_alpha * next_iota)
+                    ),
+                )
 
     def _mark_skipped(self, pos: int) -> None:
         self._skipped[pos] = True

@@ -168,6 +168,37 @@ def run_progressive_scenarios(seed: int = 0) -> dict:
     scenarios["steps"] = _account_result(
         [evaluator.costs], extra_counters={"steps": steps}
     )
+
+    # --- chunked vs scalar shared-schedule serving --------------------
+    # One progressive session driven through the service scheduler on a
+    # larger workload, once with the vectorized chunked engine and once
+    # with the per-key scalar loop (``chunk_size=1``).  Counters are
+    # identical by the engine's bit-equality contract — only the wall
+    # time may differ, and :func:`vectorized_gate` requires the chunked
+    # engine to win.  The vectorized variant runs *first* so rewrite
+    # memo warming (done explicitly here) and cache effects can only
+    # bias against it.
+    from repro.service.server import ProgressiveQueryService
+
+    big_relation = uniform_dataset((64, 64), 16000, seed=seed + 2)
+    big_storage = WaveletStorage.build(big_relation.frequency_distribution())
+    big_batch = partition_count_batch(
+        big_relation.shape, (4, 4), rng=np.random.default_rng(seed + 3)
+    )
+    big_storage.rewrite_batch(big_batch)  # warm the memo for both runs
+    for name, chunk in (("advance_vectorized", 64), ("advance_scalar", 1)):
+        service = ProgressiveQueryService(big_storage, chunk_size=chunk)
+        session_id = service.submit(big_batch)
+        while service.advance(session_id, 128):
+            pass
+        session = service._session(session_id)[0]
+        scenarios[name] = _account_result(
+            [session.costs],
+            extra_counters={
+                "master_keys": session.plan.num_keys,
+                "chunk": chunk,
+            },
+        )
     return scenarios
 
 
@@ -472,4 +503,45 @@ def compare(current: dict, baseline: dict, tolerance: float = 0.5) -> list[str]:
                 f"{base_wall:.2f} -> {mine_wall:.2f} "
                 f"(> {tolerance:.0%} over baseline)"
             )
+    return problems
+
+
+def vectorized_gate(doc: dict) -> list[str]:
+    """The chunked-engine perf gate on a ``progressive`` document.
+
+    Two requirements, both from the PR-7 contract: the
+    ``advance_vectorized`` and ``advance_scalar`` scenarios must agree
+    on every resource counter (the engine may change *when* work
+    happens, never *how much*), and the vectorized normalized wall must
+    beat the scalar one.  The speed check is waived when the scalar
+    reading is itself under :data:`NORMALIZED_FLOOR` — a machine on
+    which the scalar loop is already jitter-dominated cannot resolve
+    the comparison.
+    """
+    scenarios = doc.get("scenarios", {})
+    scalar = scenarios.get("advance_scalar")
+    vector = scenarios.get("advance_vectorized")
+    if not scalar or not vector:
+        return [
+            "vectorized gate: advance_scalar/advance_vectorized scenarios "
+            "missing from the progressive document"
+        ]
+    problems: list[str] = []
+    for key, expected in scalar["counters"].items():
+        if key == "chunk":
+            continue
+        got = vector["counters"].get(key)
+        if got != expected:
+            problems.append(
+                f"vectorized gate: counter {key} differs between engines "
+                f"(scalar {expected} vs vectorized {got}; the chunked "
+                "engine must be bit-equal)"
+            )
+    scalar_wall = scalar["normalized_wall"]
+    vector_wall = vector["normalized_wall"]
+    if scalar_wall > NORMALIZED_FLOOR and vector_wall >= scalar_wall:
+        problems.append(
+            f"vectorized gate: chunked engine not faster than scalar "
+            f"({vector_wall:.2f} >= {scalar_wall:.2f} normalized)"
+        )
     return problems

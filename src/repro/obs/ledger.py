@@ -165,6 +165,25 @@ class CostAccount:
             self.retries += retries
             self.skipped_keys += skipped_keys
 
+    def add_fetch(self, retrievals: int, wall_s: float, cpu_s: float = 0.0) -> None:
+        """Charge one chunked gather: fetch-stage time plus ``retrievals``
+        keys (and their bytes) under a single lock acquisition — the bulk
+        form of ``stage("fetch")`` + ``add(retrievals=...)`` the
+        vectorized serve engine uses once per chunk instead of per key.
+        """
+        if not _switch.enabled:
+            return
+        with self._lock:
+            cell = self._stages.get("fetch")
+            if cell is None:
+                cell = [0, 0.0, 0.0]
+                self._stages["fetch"] = cell
+            cell[0] += 1
+            cell[1] += wall_s
+            cell[2] += cpu_s
+            self.retrievals += retrievals
+            self.bytes_fetched += retrievals * COEFFICIENT_BYTES
+
     # -- reading -------------------------------------------------------
 
     def stage_totals(self) -> dict[str, dict[str, float]]:
@@ -303,6 +322,16 @@ def note(**counters: int) -> None:
     account = active_account()
     if account is not None:
         account.add(**counters)
+
+
+def note_fetch(retrievals: int, wall_s: float, cpu_s: float = 0.0) -> None:
+    """Charge a chunked gather to the thread's active account in one lock
+    acquisition (see :meth:`CostAccount.add_fetch`); no-op without one."""
+    if not _switch.enabled:
+        return
+    account = active_account()
+    if account is not None:
+        account.add_fetch(retrievals, wall_s, cpu_s)
 
 
 def active_stage(name: str):

@@ -20,7 +20,26 @@ overlap too — whole-domain partitions share every coarse wavelet key.  The
 
 The heap is lazy: entries invalidated by a delivery, a penalty switch or a
 cancellation are skipped on pop instead of being removed eagerly, which
-keeps every mutation O(log n).
+keeps every mutation O(log n).  Two engine-level refinements keep the
+steady state out of per-coefficient Python:
+
+* **Chunked serving** — :meth:`SharedRetrievalScheduler.advance_session`
+  pops the heap maxima in chunks (the ``readahead`` idiom of
+  :meth:`~repro.core.batch.BatchBiggestB.steps`), fetches each chunk with
+  one store gather, and delivers it to each interested session through
+  one vectorized :meth:`ProgressiveSession.deliver_many` call.  Answers,
+  delivery order, counters, and degraded-state semantics are identical
+  to serving one key at a time (``chunk_size=1`` reproduces the scalar
+  loop literally, store-call pattern included); a failed key inside a
+  gather marks only that key skipped.
+* **Lazy heap seeding** — instead of eagerly ``heappush``-ing a new
+  session's entire pending list, registration selects the top block with
+  ``numpy.argpartition`` and parks the rest in a sorted backlog that
+  refills the heap block-by-block as the session's entries are consumed.
+  Stale pops (entries invalidated by deliveries, penalty switches, or
+  cancellations) are observable as ``repro_scheduler_stale_pops_total``,
+  and ``reprioritize``/``deregister`` prune the session's dead entries
+  instead of leaving them to bloat the heap across epochs.
 """
 
 from __future__ import annotations
@@ -33,13 +52,29 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.session import ProgressiveSession
+from repro.core.session import DEFAULT_CHUNK, ProgressiveSession
 from repro.obs import REGISTRY, MetricRegistry, span
-from repro.obs.ledger import active_stage, activate as _charge_to, note
+from repro.obs.ledger import activate as _charge_to, note_fetch
 from repro.storage.resilient import RetrievalError
 
 #: Distinguishes scheduler instances inside the process-global registry.
 _INSTANCE_IDS = itertools.count()
+
+
+def _top_block(keys: np.ndarray, iotas: np.ndarray, m: int) -> np.ndarray:
+    """Indices of the exact top-``m`` entries by (importance desc, key asc).
+
+    ``numpy.argpartition`` places the ``m`` largest importances first but
+    breaks boundary ties arbitrarily; the heap breaks them by ascending
+    key, so the tie set at the threshold importance is re-filled by
+    smallest key to keep the selection identical to a full sort.
+    """
+    part = np.argpartition(-iotas, m - 1)[:m]
+    threshold = iotas[part].min()
+    strict = np.flatnonzero(iotas > threshold)
+    ties = np.flatnonzero(iotas == threshold)
+    ties = ties[np.argsort(keys[ties], kind="stable")][: m - strict.size]
+    return np.concatenate([strict, ties])
 
 
 class SchedulerMetrics:
@@ -67,6 +102,11 @@ class SchedulerMetrics:
         their fetch (retries and circuit breaker exhausted).  Affected
         sessions degrade — their Theorem-1 bounds stay valid — instead
         of crashing the heap loop.
+    stale_pops:
+        Lazy-heap entries discarded on pop because a delivery, penalty
+        switch, or cancellation invalidated them first — the observable
+        cost of the lazy-invalidation scheme (heap bloat shows up here
+        long before it shows up as memory).
     """
 
     def __init__(self, registry: MetricRegistry, instance: str) -> None:
@@ -91,6 +131,11 @@ class SchedulerMetrics:
             "Keys marked unavailable after the store abandoned their fetch",
             ("scheduler",),
         )
+        self._stale_pops = registry.counter(
+            "repro_scheduler_stale_pops_total",
+            "Lazy-heap entries discarded on pop after being invalidated",
+            ("scheduler",),
+        )
 
     @property
     def retrievals(self) -> int:
@@ -109,6 +154,10 @@ class SchedulerMetrics:
         return int(self._skipped_keys.value(scheduler=self._instance))
 
     @property
+    def stale_pops(self) -> int:
+        return int(self._stale_pops.value(scheduler=self._instance))
+
+    @property
     def shared_deliveries(self) -> int:
         """Deliveries that did not require their own fetch."""
         return self.deliveries - self.retrievals
@@ -124,11 +173,23 @@ class SchedulerMetrics:
         return self.shared_deliveries / deliveries if deliveries else 0.0
 
 
+#: Heap entries pushed per backlog refill block.
+_REFILL = 64
+
+
 @dataclass
 class _Registration:
     session: ProgressiveSession
     epoch: int = 0
     delivered: int = field(default=0)
+    #: Pending entries not yet pushed onto the heap, highest priority
+    #: first once ``backlog_sorted``; ``in_heap`` counts this epoch's
+    #: entries physically on the heap — refill triggers when it drains.
+    backlog_keys: np.ndarray | None = None
+    backlog_iotas: np.ndarray | None = None
+    backlog_sorted: bool = False
+    backlog_cursor: int = 0
+    in_heap: int = 0
 
 
 class SharedRetrievalScheduler:
@@ -136,12 +197,24 @@ class SharedRetrievalScheduler:
 
     Thread-safe: every public method holds the scheduler lock, so client
     threads can drive different sessions concurrently against one store.
+
+    ``chunk_size`` caps the keys served per store gather by the chunked
+    engine (:meth:`serve_chunk`); 1 reproduces the scalar
+    fetch-per-coefficient loop exactly, store-call pattern included.
     """
 
-    def __init__(self, store, registry: MetricRegistry | None = None) -> None:
+    def __init__(
+        self,
+        store,
+        registry: MetricRegistry | None = None,
+        chunk_size: int = DEFAULT_CHUNK,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         #: The shared coefficient store (a CountingStore or a
         #: PagedCoefficientStore — anything with ``fetch``).
         self.store = store
+        self.chunk_size = int(chunk_size)
         self.registry = REGISTRY if registry is None else registry
         self._instance = str(next(_INSTANCE_IDS))
         self.metrics = SchedulerMetrics(self.registry, self._instance)
@@ -189,6 +262,7 @@ class SharedRetrievalScheduler:
             reg = self._registrations.pop(sid, None)
             if reg is None:
                 return
+            self._prune_session_entries(sid)
             self._live_sessions.dec(scheduler=self._instance)
             for key in list(self._interest):
                 holders = self._interest[key]
@@ -198,11 +272,27 @@ class SharedRetrievalScheduler:
                     self._coefficients.pop(key, None)
 
     def reprioritize(self, sid: int) -> None:
-        """Re-seed a session's heap entries after a penalty switch."""
+        """Re-seed a session's heap entries after a penalty switch.
+
+        The session's now-stale entries are pruned from the heap (and its
+        old backlog dropped) instead of lingering until popped — a
+        penalty-churning session would otherwise duplicate its pending
+        list on the heap once per epoch.
+        """
         with self._lock:
             reg = self._registrations[sid]
             reg.epoch += 1
+            self._prune_session_entries(sid)
             self._push_pending(sid, reg)
+
+    def _prune_session_entries(self, sid: int) -> None:
+        """Remove every heap entry of ``sid`` (all epochs) eagerly."""
+        survivors = [entry for entry in self._heap if entry[2] != sid]
+        pruned = len(self._heap) - len(survivors)
+        if pruned:
+            self.metrics._stale_pops.inc(pruned, scheduler=self._instance)
+            self._heap = survivors
+            heapq.heapify(self._heap)
 
     @property
     def live_sessions(self) -> int:
@@ -219,18 +309,13 @@ class SharedRetrievalScheduler:
         Fetches the coefficient once (or reads it from the coefficient
         cache) and delivers it to every session whose master list still
         needs it.  Returns the key served, or None when no session has
-        pending work.
+        pending work.  Equivalent to ``serve_chunk(1)`` — one pop, one
+        single-key fetch — and kept as the unit the cluster's per-key
+        shard protocol drives.
         """
         with self._lock:
-            while self._heap:
-                _, key, sid, epoch = heapq.heappop(self._heap)
-                reg = self._registrations.get(sid)
-                if reg is None or reg.epoch != epoch:
-                    continue  # cancelled session or stale priority
-                if not reg.session.is_pending(key):
-                    continue  # already delivered through another pop
-                return self._serve(key)
-            return None
+            served = self.serve_chunk(1)
+            return served[0] if served else None
 
     def peek(self) -> tuple[float, int] | None:
         """``(importance, key)`` of the entry :meth:`step` would serve next.
@@ -243,27 +328,24 @@ class SharedRetrievalScheduler:
         always serves the globally largest ``(importance, -key)``.
         """
         with self._lock:
-            while self._heap:
-                neg_iota, key, sid, epoch = self._heap[0]
-                reg = self._registrations.get(sid)
-                if (
-                    reg is None
-                    or reg.epoch != epoch
-                    or not reg.session.is_pending(key)
-                ):
-                    heapq.heappop(self._heap)
-                    continue
-                return (-neg_iota, key)
-            return None
+            top = self._prune_to_valid(None)
+            if top is None:
+                return None
+            return (-top[0], top[1])
 
     def advance_session(self, sid: int, k: int = 1, deadline: float | None = None) -> int:
-        """Run shared steps until session ``sid`` gains ``k`` coefficients.
+        """Run the shared schedule until session ``sid`` gains ``k`` keys.
 
         Other sessions receive every popped coefficient they need along
-        the way — that is the point.  Returns the number of coefficients
-        the target session actually gained (less than ``k`` at
-        exhaustion, when the remaining keys are unavailable, or once the
-        wall-clock ``deadline`` — seconds for this call — elapses).
+        the way — that is the point.  The schedule is served in chunks of
+        up to ``chunk_size`` heap maxima, each fetched with one store
+        gather and delivered with one vectorized update per (session,
+        chunk); the chunk is capped so the target session never overshoots
+        ``k``, which keeps the set and order of served keys identical to
+        the scalar loop.  Returns the number of coefficients the target
+        session actually gained (less than ``k`` at exhaustion, when the
+        remaining keys are unavailable, or once the wall-clock
+        ``deadline`` — seconds for this call — elapses).
         """
         if k < 0:
             raise ValueError("k must be non-negative")
@@ -281,7 +363,15 @@ class SharedRetrievalScheduler:
                 while session.steps_taken - start < k and not session.is_exact:
                     if deadline is not None and time.perf_counter() - t0 >= deadline:
                         break
-                    if self.step() is None:
+                    need = k - (session.steps_taken - start)
+                    if not session.skipped_count:
+                        # Exactness is reachable: the scalar loop stops the
+                        # moment the target turns exact, so the chunk must
+                        # not pop past the target's last pending key.
+                        need = min(need, session.remaining)
+                    if not self.serve_chunk(
+                        self.chunk_size, target_sid=sid, need=need
+                    ):
                         break
             self._advance_seconds.observe(time.perf_counter() - t0)
             return session.steps_taken - start
@@ -290,62 +380,273 @@ class SharedRetrievalScheduler:
         """Serve until every live session is exact; returns steps served."""
         with self._lock:
             served = 0
-            while self.step() is not None:
-                served += 1
-            return served
+            while True:
+                chunk = self.serve_chunk(self.chunk_size)
+                if not chunk:
+                    return served
+                served += len(chunk)
+
+    def serve_chunk(
+        self,
+        limit: int,
+        target_sid: int | None = None,
+        need: int | None = None,
+        floor: tuple[float, int] | None = None,
+    ) -> list[int]:
+        """Serve up to ``limit`` coefficients in global importance order.
+
+        Pops the next valid heap entries (deduping keys two sessions both
+        put on the heap — the duplicate counts as the stale pop it would
+        have become), fetches the uncached ones with **one** store
+        gather, and delivers the chunk to each interested session via
+        :meth:`ProgressiveSession.deliver_many`.  The pop loop stops
+        early once the ``target_sid`` session would gain ``need`` keys
+        (so a capped advance never serves past its target) or when the
+        next entry's priority is not strictly above ``floor`` — an
+        ``(importance, key)`` pair, the cluster router's merge guard.
+        Returns the keys served, in serve order.
+        """
+        with self._lock:
+            target = None
+            if target_sid is not None:
+                reg = self._registrations.get(target_sid)
+                target = reg.session if reg is not None else None
+            floor_rank = (
+                None if floor is None else (-float(floor[0]), int(floor[1]))
+            )
+            keys: list[int] = []
+            seen: set[int] = set()
+            gains = 0
+            while len(keys) < limit:
+                entry = self._pop_entry(floor_rank, seen)
+                if entry is None:
+                    break
+                key = entry[1]
+                keys.append(key)
+                seen.add(key)
+                if target is not None and target.is_pending(key):
+                    gains += 1
+                    if need is not None and gains >= need:
+                        break
+            if keys:
+                self._serve_batch(keys)
+            return keys
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
     def _push_pending(self, sid: int, reg: _Registration) -> None:
+        """Seed the heap with the session's top pending block.
+
+        The top ``_REFILL`` entries are selected with
+        ``numpy.argpartition`` (O(n), exact under the heap's tie order:
+        importance desc, key asc) and pushed; the rest becomes the
+        registration's backlog, sorted lazily on first refill — a
+        session polled for its first few coefficients never pays to
+        heap-push (or sort) its whole master list.
+        """
         keys, importance = reg.session.pending()
         epoch = reg.epoch
+        n = int(keys.size)
+        if n > _REFILL:
+            top = _top_block(keys, importance, _REFILL)
+            rest = np.ones(n, dtype=bool)
+            rest[top] = False
+            reg.backlog_keys = keys[rest]
+            reg.backlog_iotas = importance[rest]
+            keys, importance = keys[top], importance[top]
+        else:
+            reg.backlog_keys = reg.backlog_iotas = None
+        reg.backlog_sorted = False
+        reg.backlog_cursor = 0
+        reg.in_heap = int(keys.size)
         for key, iota in zip(keys.tolist(), importance.tolist()):
             heapq.heappush(self._heap, (-float(iota), int(key), sid, epoch))
 
-    def _serve(self, key: int) -> int:
+    def _refill(self, sid: int, reg: _Registration) -> None:
+        """Move the next backlog block onto the heap (lazy first sort)."""
+        keys = reg.backlog_keys
+        if keys is None:
+            return
+        if not reg.backlog_sorted:
+            order = np.lexsort((keys, -reg.backlog_iotas))
+            reg.backlog_keys = keys = keys[order]
+            reg.backlog_iotas = reg.backlog_iotas[order]
+            reg.backlog_sorted = True
+        cursor = reg.backlog_cursor
+        end = min(cursor + _REFILL, int(keys.size))
+        if end == cursor:
+            return
+        epoch = reg.epoch
+        for key, iota in zip(
+            keys[cursor:end].tolist(), reg.backlog_iotas[cursor:end].tolist()
+        ):
+            heapq.heappush(self._heap, (-float(iota), int(key), sid, epoch))
+        reg.backlog_cursor = end
+        reg.in_heap += end - cursor
+        if end == int(keys.size):
+            reg.backlog_keys = reg.backlog_iotas = None
+
+    def _note_pop(self, sid: int, reg: _Registration) -> None:
+        reg.in_heap -= 1
+        if reg.in_heap <= 0:
+            self._refill(sid, reg)
+
+    def _prune_to_valid(
+        self, exclude: set[int] | None
+    ) -> tuple[float, int, int, int] | None:
+        """Discard stale heap tops; returns the valid top entry or None.
+
+        Every pushed backlog block outranks everything still parked, so
+        consuming a registration's last on-heap entry (valid or stale)
+        refills its next block *before* anything of lower priority can
+        be served — the lazy seeding never reorders the schedule.
+        """
+        while self._heap:
+            entry = self._heap[0]
+            neg_iota, key, sid, epoch = entry
+            reg = self._registrations.get(sid)
+            if (
+                reg is not None
+                and reg.epoch == epoch
+                and (exclude is None or key not in exclude)
+                and reg.session.is_pending(key)
+            ):
+                return entry
+            heapq.heappop(self._heap)
+            self.metrics._stale_pops.inc(scheduler=self._instance)
+            if reg is not None and reg.epoch == epoch:
+                self._note_pop(sid, reg)
+        return None
+
+    def _pop_entry(
+        self,
+        floor_rank: tuple[float, int] | None,
+        exclude: set[int] | None = None,
+    ) -> tuple[float, int] | None:
+        """Pop the next valid entry as ``(neg_iota, key)``, or None.
+
+        ``floor_rank`` leaves the entry on the heap (returning None) when
+        its ``(-importance, key)`` rank is not strictly the better one —
+        the cluster worker's stop condition.  Keys in ``exclude`` are
+        discarded as the stale pops they would have become after the
+        in-flight chunk is served.
+        """
+        top = self._prune_to_valid(exclude)
+        if top is None:
+            return None
+        neg_iota, key, sid, epoch = top
+        if floor_rank is not None and (neg_iota, key) >= floor_rank:
+            return None
+        heapq.heappop(self._heap)
+        reg = self._registrations.get(sid)
+        if reg is not None and reg.epoch == epoch:
+            self._note_pop(sid, reg)
+        return (neg_iota, key)
+
+    def _serve_batch(self, keys: list[int]) -> None:
+        """Fetch and deliver one chunk of popped keys, in serve order.
+
+        Uncached keys go to the store as **one** gather.  When the store
+        abandons the gather (:class:`RetrievalError` after retries), the
+        chunk degrades to per-key fetches so only the still-failing keys
+        are skipped — a one-key gather *is* its own per-key fetch and is
+        skipped directly, which keeps ``chunk_size=1`` bit-identical to
+        the scalar loop's store-call pattern.  Deliveries are applied as
+        maximal runs of available keys between failures, so per-session
+        estimate updates, counters, and bound records land in exactly
+        the scalar order.
+        """
         instance = self._instance
-        if key in self._coefficients:
-            coefficient = self._coefficients[key]
-            fetched = False
-        else:
+        cached = [key in self._coefficients for key in keys]
+        to_fetch = [key for key, hit in zip(keys, cached) if not hit]
+        failed: set[int] = set()
+        if to_fetch:
+            fetched = 0
+            arr = np.asarray(to_fetch, dtype=np.int64)
             try:
-                with span("scheduler.fetch", key=key), active_stage("fetch"):
+                with span("scheduler.fetch", keys=len(to_fetch)):
                     t0 = time.perf_counter()
-                    coefficient = float(self.store.fetch(np.array([key]))[0])
-                    self._fetch_seconds.observe(time.perf_counter() - t0)
-                note(retrievals=1)
+                    c0 = time.thread_time()
+                    values = self.store.fetch(arr)
+                    wall = time.perf_counter() - t0
+                self._fetch_seconds.observe(wall)
+                note_fetch(len(to_fetch), wall, time.thread_time() - c0)
+                for key, value in zip(to_fetch, values.tolist()):
+                    self._coefficients[key] = float(value)
+                fetched = len(to_fetch)
             except RetrievalError:
-                # The store gave up on this key (retries and breaker
-                # exhausted).  Mark it unavailable in every interested
-                # session — they degrade with a still-valid Theorem-1
-                # bound — and keep serving the rest of the schedule.
+                if len(to_fetch) == 1:
+                    failed.add(to_fetch[0])
+                else:
+                    for key in to_fetch:
+                        try:
+                            with span("scheduler.fetch", key=key):
+                                t0 = time.perf_counter()
+                                c0 = time.thread_time()
+                                value = float(
+                                    self.store.fetch(
+                                        np.array([key], dtype=np.int64)
+                                    )[0]
+                                )
+                                wall = time.perf_counter() - t0
+                            self._fetch_seconds.observe(wall)
+                            note_fetch(1, wall, time.thread_time() - c0)
+                        except RetrievalError:
+                            failed.add(key)
+                        else:
+                            self._coefficients[key] = value
+                            fetched += 1
+            if fetched:
+                self.metrics._retrievals.inc(fetched, scheduler=instance)
+        # Deliver in maximal runs of available keys; each failed key is
+        # skipped at its place in the order, exactly where the scalar
+        # loop would have degraded it.
+        run: list[tuple[int, bool]] = []  # (key, was_cached)
+        for key, hit in zip(keys, cached):
+            if key in failed:
+                self._deliver_run(run, instance)
+                run = []
                 self._skip_key(key, instance)
-                return key
-            self.metrics._retrievals.inc(scheduler=instance)
-            fetched = True
-            # Cache while any live session holds the key, so overlapping
-            # batches submitted later reuse the fetch without I/O.
-            self._coefficients[key] = coefficient
+            else:
+                run.append((key, hit))
+        self._deliver_run(run, instance)
+
+    def _deliver_run(self, run: list[tuple[int, bool]], instance: str) -> None:
+        if not run:
+            return
+        by_sid: dict[int, list[int]] = {}
+        for index, (key, _) in enumerate(run):
+            for sid in self._interest.get(key, ()):
+                by_sid.setdefault(sid, []).append(index)
         deliveries = cache_deliveries = 0
-        for sid in self._interest.get(key, ()):
+        for sid, indices in by_sid.items():
             reg = self._registrations.get(sid)
             if reg is None:
                 continue
-            if reg.session.deliver(key, coefficient):
-                deliveries += 1
-                reg.delivered += 1
-                if not fetched:
-                    cache_deliveries += 1
-                    # The receiving session got the key without any I/O:
-                    # a cross-session cache hit on *its* account.
-                    reg.session.costs.add(cache_hits=1)
+            sub_keys = np.array([run[i][0] for i in indices], dtype=np.int64)
+            coeffs = np.array([self._coefficients[int(k)] for k in sub_keys])
+            applied = reg.session.deliver_many(sub_keys, coeffs)
+            count = int(np.count_nonzero(applied))
+            if not count:
+                continue
+            reg.delivered += count
+            deliveries += count
+            hits = sum(
+                1
+                for j, i in enumerate(indices)
+                if applied[j] and run[i][1]
+            )
+            if hits:
+                cache_deliveries += hits
+                # The receiving session got the keys without any I/O:
+                # cross-session cache hits on *its* account.
+                reg.session.costs.add(cache_hits=hits)
         if deliveries:
             self.metrics._deliveries.inc(deliveries, scheduler=instance)
         if cache_deliveries:
             self.metrics._cache_deliveries.inc(cache_deliveries, scheduler=instance)
-        return key
 
     def _skip_key(self, key: int, instance: str) -> None:
         skipped = 0

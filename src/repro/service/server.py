@@ -107,11 +107,17 @@ class ProgressiveQueryService:
     """Serve many concurrent progressive batch evaluations over one store."""
 
     def __init__(
-        self, storage: LinearStorage, registry: MetricRegistry | None = None
+        self,
+        storage: LinearStorage,
+        registry: MetricRegistry | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         self.storage = storage
         self.registry = REGISTRY if registry is None else registry
-        self.scheduler = SharedRetrievalScheduler(storage.store, registry=self.registry)
+        kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+        self.scheduler = SharedRetrievalScheduler(
+            storage.store, registry=self.registry, **kwargs
+        )
         self._lock = threading.RLock()
         self._sessions: dict[str, tuple[ProgressiveSession, int]] = {}
         self._ids = itertools.count(1)

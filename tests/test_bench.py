@@ -23,7 +23,9 @@ class TestRunFamily:
         assert doc["family"] == "progressive"
         assert doc["trials"] == 1
         assert doc["calibration_s"] > 0
-        assert set(doc["scenarios"]) == {"exact", "steps"}
+        assert set(doc["scenarios"]) == {
+            "exact", "steps", "advance_vectorized", "advance_scalar",
+        }
 
     def test_validates_clean(self, progressive_doc):
         assert bench.validate(progressive_doc) == []
@@ -150,3 +152,33 @@ class TestCompareGate:
         current["schema"] = "repro-bench/v2"
         problems = bench.compare(current, progressive_doc)
         assert problems and "re-baseline" in problems[0]
+
+
+class TestVectorizedGate:
+    def test_real_run_passes(self, progressive_doc):
+        assert bench.vectorized_gate(progressive_doc) == []
+
+    def test_counter_divergence_fails(self, progressive_doc):
+        doc = copy.deepcopy(progressive_doc)
+        doc["scenarios"]["advance_vectorized"]["counters"]["retrievals"] += 1
+        problems = bench.vectorized_gate(doc)
+        assert any("counter" in p for p in problems)
+
+    def test_chunk_counter_is_exempt(self, progressive_doc):
+        # The two scenarios intentionally differ in "chunk"; only that key.
+        vec = progressive_doc["scenarios"]["advance_vectorized"]["counters"]
+        scalar = progressive_doc["scenarios"]["advance_scalar"]["counters"]
+        assert vec["chunk"] != scalar["chunk"]
+
+    def test_slow_vectorized_path_fails(self, progressive_doc):
+        doc = copy.deepcopy(progressive_doc)
+        floor = bench.NORMALIZED_FLOOR
+        doc["scenarios"]["advance_scalar"]["normalized_wall"] = floor * 4
+        doc["scenarios"]["advance_vectorized"]["normalized_wall"] = floor * 8
+        problems = bench.vectorized_gate(doc)
+        assert any("not faster" in p for p in problems)
+
+    def test_missing_scenarios_fail(self, progressive_doc):
+        doc = copy.deepcopy(progressive_doc)
+        del doc["scenarios"]["advance_scalar"]
+        assert bench.vectorized_gate(doc)

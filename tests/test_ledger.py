@@ -182,8 +182,18 @@ class TestPipelineAttribution:
         session.advance(5)
         assert session.costs.retrievals == 5
         totals = session.costs.stage_totals()
-        assert totals["fetch"]["calls"] == 5
+        # The chunked engine gathers the 5 keys with one store fetch:
+        # retrievals count keys, fetch "calls" count gathers.
+        assert totals["fetch"]["calls"] == 1
         assert {"rewrite", "plan", "apply"} <= set(totals)
+
+    def test_session_scalar_advance_charges_per_key_fetches(self, workload):
+        storage, batch = workload
+        session = ProgressiveSession(storage, batch)
+        for _ in range(5):
+            session.advance(1)
+        assert session.costs.retrievals == 5
+        assert session.costs.stage_totals()["fetch"]["calls"] == 5
 
     def test_session_deliver_counts_delivery_not_retrieval(self, workload):
         storage, batch = workload

@@ -310,7 +310,8 @@ class TestTransientChaosInvariant:
         storage, batch, _ = setup
         clean_rec = RecordingStore(storage.store)
         clean = ProgressiveSession(storage.with_store(clean_rec), batch)
-        clean.run_to_completion()
+        while not clean.is_exact:  # per-key stepping: one fetch per key
+            clean.advance(1)
 
         faulty_rec = RecordingStore(storage.store)
         injector = FaultInjectingStore(
@@ -318,7 +319,8 @@ class TestTransientChaosInvariant:
         )
         resilient = ResilientStore(injector, policy=fast_policy())
         session = ProgressiveSession(storage.with_store(resilient), batch)
-        session.run_to_completion()
+        while not session.is_exact:
+            session.advance(1)
 
         assert injector.injected_transient > 0, "chaos must actually bite"
         assert not session.degraded
