@@ -85,7 +85,17 @@ def fresh_rewrite_caches():
     """Drop every rewrite-path memo (dense oracle and sparse cascade) and
     zero the telemetry state (metric samples, trace ring, cost ledger)
     before each trial, so no bench inherits another's warm caches or
-    counters and timings stay comparable across runs."""
+    counters and timings stay comparable across runs.
+
+    This also covers shard-federated state left by cluster scenarios
+    (``cluster_sharing`` and friends): ``REGISTRY.reset()`` drops the
+    router's shard-labeled series (``repro_cluster_shard_up``, the
+    pipe-RTT histograms), ``recorder.clear()`` drops absorbed worker
+    spans *and* the ``repro-shard-<i>`` process-lane names, and
+    ``LEDGER.reset()`` drops the router's per-session registrations.
+    The federated snapshot caches themselves live on each
+    ``ClusterRouter`` instance and die with it.
+    """
     clear_cache()
     REGISTRY.reset()
     get_recorder().clear()

@@ -470,7 +470,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     the JSON session API until interrupted.  ``--fault-rate`` /
     ``--blackout`` wire the chaos harness into the shard stores
     (optionally only ``--chaos-shard``), demonstrating
-    degraded-but-bounded answers over HTTP.  See ``docs/CLUSTER.md``.
+    degraded-but-bounded answers over HTTP.  ``--trace-out`` records
+    spans in the edge *and every shard process*; on shutdown a final
+    telemetry pull merges the shard rings into one Chrome trace with
+    ``repro-shard-<i>`` process lanes.  See ``docs/CLUSTER.md``.
     """
     from repro.cluster import ClusterHttpServer, build_cluster
 
@@ -509,6 +512,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         else Path(tmpdir.name) / "coefficients.pages"
     )
     server = None
+    router = None
+    tracing = _start_trace(args)
     try:
         router = build_cluster(
             storage,
@@ -520,12 +525,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             process_shards=not args.inline_shards,
             chaos=chaos,
             chaos_shard=args.chaos_shard,
+            trace=tracing,
         )
         server = ClusterHttpServer(
             router,
             host=args.host,
             port=args.port,
             max_inflight=args.max_inflight,
+            telemetry_interval=args.telemetry_interval,
         ).start_in_thread()
         mode = "inline" if args.inline_shards else "process"
         print(
@@ -537,15 +544,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(
             "endpoints: POST /sessions | GET|DELETE /sessions/<id> | "
             "POST /sessions/<id>/{advance,penalty,retry} | "
-            "GET /metrics /metrics.json /costs.json /healthz",
+            "GET /metrics /metrics.json /costs.json /status /healthz",
             flush=True,
         )
         threading.Event().wait()
     except KeyboardInterrupt:
         print("shutting down", flush=True)
     finally:
+        if tracing and router is not None:
+            # Last pull before teardown so the exported trace interleaves
+            # every shard's remaining spans with the edge's.
+            try:
+                router.pull_telemetry()
+            except Exception:  # noqa: BLE001 - shutdown must not fail
+                pass
         if server is not None:
             server.close()
+        if tracing:
+            _finish_trace(args)
         tmpdir.cleanup()
     return 0
 
@@ -775,6 +791,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--chaos-shard", type=int, default=None,
                            dest="chaos_shard",
                            help="apply the fault spec to this shard only")
+    p_cluster.add_argument("--trace-out", default=None, dest="trace_out",
+                           help="record spans in the edge and every shard "
+                           "process; write the merged chrome://tracing file "
+                           "here on shutdown")
+    p_cluster.add_argument("--telemetry-interval", type=float, default=5.0,
+                           dest="telemetry_interval",
+                           help="seconds between background shard telemetry "
+                           "pulls (0 disables; scrapes still pull on demand)")
     p_cluster.set_defaults(func=cmd_serve)
 
     p_metrics = sub.add_parser(

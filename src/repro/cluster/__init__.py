@@ -93,6 +93,7 @@ def build_cluster(
     start_method: str = "spawn",
     registry=None,
     chunk_size: int | None = None,
+    trace: bool = False,
 ) -> ClusterRouter:
     """Serialize ``storage`` to a paged file and stand up an N-shard router.
 
@@ -103,7 +104,10 @@ def build_cluster(
     cluster.  ``process_shards=False`` runs the workers in-process
     (tests, benchmarks, and environments that cannot spawn).  ``chaos``
     forwards a fault spec to :func:`~repro.cluster.worker.build_shard_store`
-    on every shard, or on ``chaos_shard`` alone.
+    on every shard, or on ``chaos_shard`` alone.  ``trace`` turns span
+    recording on inside process workers so ``pull_telemetry`` can merge
+    their spans into one cluster-wide Chrome trace (inline shards follow
+    the process-wide tracing switch instead).
 
     The returned router owns the shards and its store slice: ``close()``
     (or the context manager) tears the whole cluster down.
@@ -123,6 +127,7 @@ def build_cluster(
             chaos_shard=chaos_shard,
             timeout=timeout,
             start_method=start_method,
+            trace=trace,
         )
     else:
         shards = start_inline_shards(

@@ -9,12 +9,19 @@ bit-equal to what the router computed.
 Overload surfaces as :class:`ClusterBusyError` (HTTP 429) carrying the
 server's ``Retry-After`` hint; other error statuses raise
 :class:`ClusterApiError` with the server's message.
+
+Every request carries an ``X-Request-Id`` header (generated per call, or
+set once via :attr:`ClusterClient.next_request_id`); the edge echoes it
+back and the client records the echo in
+:attr:`ClusterClient.last_request_id` — grep the server's access log or
+the merged Chrome trace for that id to see the request end to end.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import uuid
 
 import numpy as np
 
@@ -47,12 +54,28 @@ class ClusterClient:
         self.port = int(port)
         self.timeout = float(timeout)
         self._conn: http.client.HTTPConnection | None = None
+        #: The request id the edge echoed back for the last request.
+        self.last_request_id: str | None = None
+        #: Set to force the next request's id (one-shot; then generated
+        #: ids resume) — lets a caller stitch a client call into an
+        #: existing trace.
+        self.next_request_id: str | None = None
 
     # -- transport ------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None):
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        accept: tuple[int, ...] = (),
+    ):
+        """One round-trip; ``accept`` lists error statuses whose JSON body
+        should be returned instead of raised (healthz detail on 503)."""
         body = None
-        headers = {}
+        request_id = self.next_request_id or uuid.uuid4().hex[:12]
+        self.next_request_id = None
+        headers = {"X-Request-Id": request_id}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -73,11 +96,12 @@ class ClusterClient:
             self._conn.request(method, path, body=body, headers=headers)
             response = self._conn.getresponse()
             raw = response.read()
+        self.last_request_id = response.getheader("X-Request-Id", request_id)
         if response.status == 429:
             retry_after = float(response.getheader("Retry-After", "1") or "1")
             message = self._error_message(raw)
             raise ClusterBusyError(message, retry_after)
-        if response.status >= 400:
+        if response.status >= 400 and response.status not in accept:
             raise ClusterApiError(response.status, self._error_message(raw))
         if not raw:
             return None
@@ -158,8 +182,12 @@ class ClusterClient:
     # -- observability ---------------------------------------------------
 
     def metrics_text(self) -> str:
-        """The Prometheus exposition body."""
+        """The Prometheus exposition body (cluster-federated)."""
         return self._request("GET", "/metrics")
+
+    def metrics(self) -> dict:
+        """The federated registry snapshot (``/metrics.json`` parsed)."""
+        return self._request("GET", "/metrics.json")
 
     def costs(self) -> dict:
         return self._request("GET", "/costs.json")
@@ -167,5 +195,11 @@ class ClusterClient:
     def session_costs(self, session_id: str) -> dict:
         return self._request("GET", f"/sessions/{session_id}/costs")
 
+    def status(self) -> dict:
+        """Per-session convergence plus per-shard health (``/status``)."""
+        return self._request("GET", "/status")
+
     def healthz(self) -> dict:
-        return self._request("GET", "/healthz")
+        """The health body — returned (not raised) even on 503, so the
+        per-shard liveness detail is available when a shard is down."""
+        return self._request("GET", "/healthz", accept=(503,))

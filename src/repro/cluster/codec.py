@@ -193,3 +193,37 @@ def snapshot_to_json(snapshot: SessionSnapshot) -> dict:
         "degraded": snapshot.degraded,
         "skipped_count": snapshot.skipped_count,
     }
+
+
+def encode_session_status(
+    session, shard_ids=(), trajectory_tail: int = 32
+) -> dict:
+    """One session's /status entry: progressive state plus bound tail.
+
+    ``session`` is a :class:`~repro.core.session.ProgressiveSession`
+    (duck-typed — anything with the same snapshot surface and a
+    ``convergence`` log serves).  The trajectory tail is the last
+    ``trajectory_tail`` convergence records, oldest first, so a
+    dashboard can plot the recent Theorem-1 bound descent without
+    shipping the whole ring.
+    """
+    tail = session.convergence.trajectory()
+    tail = tail[-int(trajectory_tail):] if trajectory_tail > 0 else []
+    return {
+        "steps_taken": int(session.steps_taken),
+        "remaining": int(session.remaining),
+        "is_exact": bool(session.is_exact),
+        "degraded": bool(session.degraded),
+        "skipped_count": int(session.skipped_count),
+        "worst_case_bound": float(session.worst_case_bound()),
+        "shards": [int(i) for i in shard_ids],
+        "bound_trajectory": [
+            {
+                "steps_taken": int(r.steps_taken),
+                "retrievals": int(r.retrievals),
+                "worst_case_bound": float(r.worst_case_bound),
+                "wall_time": float(r.wall_time),
+            }
+            for r in tail
+        ],
+    }

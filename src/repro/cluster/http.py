@@ -7,8 +7,8 @@ admission control: once ``max_inflight`` session-facing requests are in
 flight, further ones are rejected immediately with ``429 Too Many
 Requests`` and a ``Retry-After`` header instead of queueing without
 bound.  Observability endpoints (``/metrics``, ``/costs.json``,
-``/healthz``) bypass admission — you can always see what an overloaded
-cluster is doing.
+``/status``, ``/healthz``) bypass admission — you can always see what an
+overloaded cluster is doing.
 
 Routes::
 
@@ -21,7 +21,19 @@ Routes::
     POST   /sessions/{id}/retry      re-queue skipped keys -> {requeued}
     GET    /sessions/{id}/costs      merged router+shard cost report
     DELETE /sessions/{id}            cancel
-    GET    /metrics | /metrics.json | /costs.json | /healthz
+    GET    /metrics | /metrics.json  cluster-federated registry (router +
+                                     every shard process, shard-labeled)
+    GET    /costs.json | /status | /healthz
+
+Every request gets a request id — taken from an inbound ``X-Request-Id``
+header or generated — echoed back in the response's ``X-Request-Id``
+header, bound as the trace context while the router works (so shard-side
+spans of the same request share the id), stamped into the structured
+JSON access log, and counted into per-route latency/size/status metrics.
+``/healthz`` answers 503 once any shard has been shed so load balancers
+rotate the replica out; ``/status`` reports per-session convergence and
+per-shard health; a periodic background pull keeps the federated
+telemetry fresh between scrapes.
 
 Error mapping: unknown session -> 404, malformed payload or query -> 400,
 overload -> 429, everything else -> 500 with the error message in the
@@ -32,7 +44,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import sys
 import threading
+import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.cluster.codec import (
@@ -43,9 +58,16 @@ from repro.cluster.codec import (
 )
 from repro.cluster.router import ClusterRouter
 from repro.obs.http import PROMETHEUS_CONTENT_TYPE
+from repro.obs.trace import trace_context
 
 _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Response-size histogram bounds (bytes, log-ish).
+_BYTE_BUCKETS = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304
+)
+#: On-demand scrapes reuse a federated payload younger than this.
+_SCRAPE_MAX_AGE = 1.0
 _STATUS_TEXT = {
     200: "OK",
     201: "Created",
@@ -56,7 +78,13 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+
+def _stderr_access_log(line: str) -> None:
+    """The default access-log sink: one JSON object per line on stderr."""
+    print(line, file=sys.stderr, flush=True)
 
 
 class _HttpError(Exception):
@@ -76,12 +104,27 @@ class ClusterHttpServer:
         port: int = 0,
         max_inflight: int = 32,
         retry_after: float = 1.0,
+        telemetry_interval: float = 5.0,
+        slow_request_s: float = 1.0,
+        access_log=None,
     ) -> None:
+        """``telemetry_interval`` is the background federation-pull period
+        in seconds (0 disables the periodic task; on-demand scrapes still
+        pull).  Requests slower than ``slow_request_s`` are counted and
+        flagged in the access log.  ``access_log`` is a callable given one
+        JSON line per request — ``None`` means stderr, ``False`` disables
+        the log entirely."""
         self.router = router
         self.host = host
         self.port = int(port)  # 0 = ephemeral; read back after start
         self.max_inflight = int(max_inflight)
         self.retry_after = float(retry_after)
+        self.telemetry_interval = float(telemetry_interval)
+        self.slow_request_s = float(slow_request_s)
+        if access_log is None:
+            self._access_log = _stderr_access_log
+        else:
+            self._access_log = access_log if callable(access_log) else None
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._rejected = router.registry.counter(
@@ -93,6 +136,32 @@ class ClusterHttpServer:
             "HTTP requests served, by status class",
             ("status",),
         )
+        self._request_seconds = router.registry.histogram(
+            "repro_edge_request_seconds",
+            "Edge request latency (receive-to-respond), by route template",
+            ("route",),
+        )
+        self._response_bytes = router.registry.histogram(
+            "repro_edge_response_bytes",
+            "Edge response body size, by route template",
+            ("route",),
+            buckets=_BYTE_BUCKETS,
+        )
+        self._route_requests = router.registry.counter(
+            "repro_edge_requests_total",
+            "Edge requests served, by route template and status code",
+            ("route", "status"),
+        )
+        self._slow_requests = router.registry.counter(
+            "repro_edge_slow_requests_total",
+            "Edge requests slower than the slow-request threshold",
+            ("route",),
+        )
+        self._shed_requests = router.registry.counter(
+            "repro_edge_shed_total",
+            "Edge requests shed by admission control, by route template",
+            ("route",),
+        )
         # The router lock serializes actual work; two workers let an
         # advance overlap a submit's rewrite front end.
         self._pool = ThreadPoolExecutor(
@@ -102,6 +171,7 @@ class ClusterHttpServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
+        self._telemetry_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -151,8 +221,11 @@ class ClusterHttpServer:
     def close(self) -> None:
         """Stop accepting, drain the pool, and shut the router down."""
         loop, server = self._loop, self._server
-        if loop is not None and server is not None and loop.is_running():
-            loop.call_soon_threadsafe(server.close)
+        if loop is not None and loop.is_running():
+            if self._telemetry_task is not None:
+                loop.call_soon_threadsafe(self._telemetry_task.cancel)
+            if server is not None:
+                loop.call_soon_threadsafe(server.close)
             loop.call_soon_threadsafe(loop.stop)
         if self._thread is not None:
             self._thread.join(10.0)
@@ -165,6 +238,31 @@ class ClusterHttpServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.telemetry_interval > 0:
+            self._telemetry_task = asyncio.get_running_loop().create_task(
+                self._federate_forever()
+            )
+
+    async def _federate_forever(self) -> None:
+        """Periodically pull shard telemetry so scrapes read a warm cache.
+
+        Runs on the edge's event loop but does the pulling on the thread
+        pool — a slow or dying shard never stalls request handling.
+        ``max_age`` of half the period keeps an interleaved on-demand
+        scrape from causing a double pull.
+        """
+        max_age = self.telemetry_interval / 2.0
+        while True:
+            await asyncio.sleep(self.telemetry_interval)
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    self._pool,
+                    lambda: self.router.pull_telemetry(max_age=max_age),
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - a lost shard is shed inside
+                pass
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -219,25 +317,39 @@ class ClusterHttpServer:
         body = await reader.readexactly(length) if length else b""
         keep_alive = headers.get("connection", "").lower() != "close"
         path = target.split("?", 1)[0]
+        method = method.upper()
+        request_id = headers.get("x-request-id") or uuid.uuid4().hex[:12]
+        rid_header = (("X-Request-Id", request_id),)
+        route = self._route_of(method, path)
+        t0 = time.perf_counter()
+        status, sent = 500, 0
         try:
-            status, payload, content_type, extra = await self._dispatch(
-                method.upper(), path, body
+            try:
+                result = await self._dispatch(
+                    method, path, body, request_id, route
+                )
+            except _HttpError as exc:
+                status, sent = await self._respond(
+                    writer, exc.status, {"error": str(exc)},
+                    extra=tuple(exc.headers) + rid_header,
+                    keep_alive=keep_alive,
+                )
+            except Exception as exc:  # noqa: BLE001 - edge must not die
+                status, sent = await self._respond(
+                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"},
+                    extra=rid_header, keep_alive=keep_alive,
+                )
+            else:
+                code, payload, content_type, extra = result
+                status, sent = await self._respond(
+                    writer, code, payload, content_type,
+                    tuple(extra) + rid_header, keep_alive,
+                )
+        finally:
+            self._observe_request(
+                method, path, route, request_id, status, sent,
+                time.perf_counter() - t0,
             )
-        except _HttpError as exc:
-            await self._respond(
-                writer, exc.status, {"error": str(exc)}, extra=exc.headers,
-                keep_alive=keep_alive,
-            )
-            return keep_alive
-        except Exception as exc:  # noqa: BLE001 - edge must not die
-            await self._respond(
-                writer, 500, {"error": f"{type(exc).__name__}: {exc}"},
-                keep_alive=keep_alive,
-            )
-            return keep_alive
-        await self._respond(
-            writer, status, payload, content_type, extra, keep_alive
-        )
         return keep_alive
 
     async def _respond(
@@ -265,37 +377,125 @@ class ClusterHttpServer:
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
         self._requests.inc(status=f"{status // 100}xx")
         await writer.drain()
+        return status, len(body)
+
+    # ------------------------------------------------------------------
+    # Request-scoped instrumentation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _route_of(method: str, path: str) -> str:
+        """The route template a request falls under (bounded label set).
+
+        Session ids are collapsed to ``{id}`` so per-route series don't
+        grow with traffic; unmatched paths share one ``other`` bucket.
+        """
+        if path in (
+            "/metrics", "/metrics.json", "/costs.json", "/healthz",
+            "/status", "/sessions",
+        ):
+            return f"{method} {path}"
+        parts = path.strip("/").split("/")
+        if parts[0] == "sessions" and len(parts) == 2:
+            return f"{method} /sessions/{{id}}"
+        if (
+            parts[0] == "sessions"
+            and len(parts) == 3
+            and parts[2] in ("advance", "penalty", "retry", "costs")
+        ):
+            return f"{method} /sessions/{{id}}/{parts[2]}"
+        return "other"
+
+    def _observe_request(
+        self,
+        method: str,
+        path: str,
+        route: str,
+        request_id: str,
+        status: int,
+        size: int,
+        duration: float,
+    ) -> None:
+        """Per-route metrics plus one structured access-log line."""
+        self._request_seconds.observe(duration, route=route)
+        self._response_bytes.observe(size, route=route)
+        self._route_requests.inc(route=route, status=str(status))
+        slow = duration >= self.slow_request_s
+        if slow:
+            self._slow_requests.inc(route=route)
+        if self._access_log is None:
+            return
+        line = json.dumps(
+            {
+                "ts": round(time.time(), 6),
+                "request_id": request_id,
+                "method": method,
+                "path": path,
+                "route": route,
+                "status": status,
+                "duration_ms": round(duration * 1e3, 3),
+                "bytes": size,
+                "slow": slow,
+            },
+            sort_keys=True,
+        )
+        try:
+            self._access_log(line)
+        except Exception:  # noqa: BLE001 - logging must never kill a request
+            pass
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes):
+    async def _dispatch(
+        self, method: str, path: str, body: bytes,
+        rid: str | None = None, route: str = "other",
+    ):
         """Returns ``(status, payload, content_type, extra_headers)``."""
         if path == "/metrics" and method == "GET":
-            text = self.router.registry.render_prometheus()
+            text = await self._call(
+                self._scrape_text, admit=False, rid=rid, route=route
+            )
             return 200, text, PROMETHEUS_CONTENT_TYPE, ()
         if path == "/metrics.json" and method == "GET":
-            return 200, self.router.registry.render_json(), "application/json", ()
+            snapshot = await self._call(
+                self._scrape_json, admit=False, rid=rid, route=route
+            )
+            return 200, snapshot, "application/json", ()
         if path == "/costs.json" and method == "GET":
-            return 200, await self._call(self.router.costs_json, admit=False), \
-                "application/json", ()
+            report = await self._call(
+                self.router.costs_json, admit=False, rid=rid, route=route
+            )
+            return 200, report, "application/json", ()
+        if path == "/status" and method == "GET":
+            status = await self._call(
+                self._scrape_status, admit=False, rid=rid, route=route
+            )
+            return 200, status, "application/json", ()
         if path == "/healthz" and method == "GET":
-            health = await self._call(self.router.healthz, admit=False)
+            health = await self._call(
+                self.router.healthz, admit=False, rid=rid, route=route
+            )
             health["inflight"] = self._inflight
             health["max_inflight"] = self.max_inflight
-            return 200, health, "application/json", ()
+            return (200 if health["ok"] else 503), health, \
+                "application/json", ()
 
         if path == "/sessions":
             if method == "POST":
                 payload = self._json(body)
                 try:
-                    created = await self._call(self._submit, payload)
+                    created = await self._call(
+                        self._submit, payload, rid=rid, route=route
+                    )
                 except (CodecError, ValueError) as exc:
                     raise _HttpError(400, str(exc)) from None
                 return 201, created, "application/json", ()
             if method == "GET":
-                ids = await self._call(self.router.session_ids, admit=False)
+                ids = await self._call(
+                    self.router.session_ids, admit=False, rid=rid, route=route
+                )
                 return 200, {"sessions": ids}, "application/json", ()
             raise _HttpError(405, f"{method} not supported on {path}")
 
@@ -307,10 +507,14 @@ class ClusterHttpServer:
 
         try:
             if action is None and method == "GET":
-                snapshot = await self._call(self.router.poll, session_id)
+                snapshot = await self._call(
+                    self.router.poll, session_id, rid=rid, route=route
+                )
                 return 200, snapshot_to_json(snapshot), "application/json", ()
             if action is None and method == "DELETE":
-                await self._call(self.router.cancel, session_id)
+                await self._call(
+                    self.router.cancel, session_id, rid=rid, route=route
+                )
                 return 204, None, "application/json", ()
             if action == "advance" and method == "POST":
                 payload = self._json(body)
@@ -319,26 +523,34 @@ class ClusterHttpServer:
                 gained = await self._call(
                     self.router.advance, session_id, k,
                     float(deadline) if deadline is not None else None,
+                    rid=rid, route=route,
                 )
                 snapshot = await self._call(
-                    self.router.poll, session_id, admit=False
+                    self.router.poll, session_id, admit=False,
+                    rid=rid, route=route,
                 )
                 return 200, {
                     "gained": gained, "snapshot": snapshot_to_json(snapshot),
                 }, "application/json", ()
             if action == "penalty" and method == "POST":
                 payload = self._json(body)
-                await self._call(self._set_penalty, session_id, payload)
+                await self._call(
+                    self._set_penalty, session_id, payload, rid=rid, route=route
+                )
                 snapshot = await self._call(
-                    self.router.poll, session_id, admit=False
+                    self.router.poll, session_id, admit=False,
+                    rid=rid, route=route,
                 )
                 return 200, snapshot_to_json(snapshot), "application/json", ()
             if action == "retry" and method == "POST":
-                requeued = await self._call(self.router.retry_skipped, session_id)
+                requeued = await self._call(
+                    self.router.retry_skipped, session_id, rid=rid, route=route
+                )
                 return 200, {"requeued": requeued}, "application/json", ()
             if action == "costs" and method == "GET":
                 report = await self._call(
-                    self.router.cost_report, session_id, admit=False
+                    self.router.cost_report, session_id, admit=False,
+                    rid=rid, route=route,
                 )
                 return 200, report, "application/json", ()
         except KeyError as exc:
@@ -375,12 +587,40 @@ class ClusterHttpServer:
         size = len(self.router.poll(session_id).estimates)
         self.router.set_penalty(session_id, decode_penalty(spec, size))
 
-    async def _call(self, fn, *args, admit: bool = True):
-        """Run router work on the pool, under admission control."""
+    def _scrape_text(self) -> str:
+        """Fresh-enough federated /metrics body (pull + render)."""
+        self.router.pull_telemetry(max_age=_SCRAPE_MAX_AGE)
+        return self.router.federated_metrics_text()
+
+    def _scrape_json(self) -> str:
+        """Fresh-enough federated /metrics.json body."""
+        self.router.pull_telemetry(max_age=_SCRAPE_MAX_AGE)
+        return json.dumps(
+            self.router.federated_metrics_json(), indent=2, sort_keys=True
+        )
+
+    def _scrape_status(self) -> dict:
+        """Fresh-enough /status body."""
+        self.router.pull_telemetry(max_age=_SCRAPE_MAX_AGE)
+        return self.router.status()
+
+    async def _call(
+        self, fn, *args, admit: bool = True,
+        rid: str | None = None, route: str = "other",
+    ):
+        """Run router work on the pool, under admission control.
+
+        ``rid`` is bound as the trace context *inside the executor
+        thread* (never across an await — the context is a thread-local
+        stack and interleaving coroutines would corrupt it), so router
+        spans and the shard-side spans of the pipes it drives all carry
+        the request id.
+        """
         if admit:
             with self._inflight_lock:
                 if self._inflight >= self.max_inflight:
                     self._rejected.inc()
+                    self._shed_requests.inc(route=route)
                     raise _HttpError(
                         429,
                         "cluster at capacity; retry later",
@@ -388,8 +628,13 @@ class ClusterHttpServer:
                     )
                 self._inflight += 1
         loop = asyncio.get_running_loop()
+
+        def _bound() -> object:
+            with trace_context(rid):
+                return fn(*args)
+
         try:
-            return await loop.run_in_executor(self._pool, lambda: fn(*args))
+            return await loop.run_in_executor(self._pool, _bound)
         finally:
             if admit:
                 with self._inflight_lock:

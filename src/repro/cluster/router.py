@@ -36,19 +36,34 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster.codec import encode_session_status
 from repro.cluster.partition import Partitioner
 from repro.cluster.worker import DELIVER, ShardLostError
 from repro.core.penalties import Penalty
 from repro.core.session import DEFAULT_CHUNK, ProgressiveSession
 from repro.obs import LEDGER, REGISTRY, MetricRegistry, span
 from repro.obs.ledger import merge_cost_reports
+from repro.obs.metrics import merge_registry_snapshots, snapshot_to_prometheus
+from repro.obs.trace import absorb_portable, get_recorder
 from repro.queries.vector_query import QueryBatch
 from repro.service.server import SessionSnapshot
 from repro.storage.base import LinearStorage
+
+#: Pipe round-trips retained per shard for the /status p50/p99 window.
+RTT_WINDOW = 256
+
+
+def _quantile(sorted_values, q: float) -> float | None:
+    """Nearest-rank quantile of an ascending list (None when empty)."""
+    if not sorted_values:
+        return None
+    rank = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return float(sorted_values[rank])
 
 
 @dataclass(frozen=True)
@@ -81,6 +96,7 @@ class ClusterMetrics:
 class _ClusterSession:
     session: ProgressiveSession
     shard_ids: tuple[int, ...]  # shards holding a registration for it
+    ledger_name: str = ""  # the name LEDGER actually registered (dedup-safe)
 
 
 class ClusterRouter:
@@ -154,6 +170,22 @@ class ClusterRouter:
             "repro_cluster_advance_seconds",
             "Wall-clock latency of router advance() calls",
         )
+        self._pipe_roundtrip = self.registry.histogram(
+            "repro_cluster_pipe_roundtrip_seconds",
+            "Router-to-shard command round-trip latency",
+            ("shard",),
+        )
+        self._telemetry_pulls = self.registry.counter(
+            "repro_cluster_telemetry_pulls_total",
+            "Telemetry federation pulls completed by the router",
+        )
+        #: Per-shard round-trip window backing the /status p50/p99.
+        self._rtt: dict[int, deque] = {}
+        #: Monotonic timestamp of each shard's last successful reply.
+        self._last_reply: dict[int, float] = {}
+        #: Latest telemetry payload per shard; retained after shard death
+        #: so the federated /metrics keeps the dead shard's last series.
+        self._telemetry: dict[int, dict] = {}
         for index in self._shards:
             self._shard_up.set(1, shard=str(index))
 
@@ -188,8 +220,8 @@ class ClusterRouter:
                         session.skip(int(key))
                     continue
                 try:
-                    self._tops[index] = self._shards[index].call(
-                        "register", session_id, sub_keys, sub_iotas
+                    self._tops[index] = self._call(
+                        index, "register", session_id, sub_keys, sub_iotas
                     )
                 except ShardLostError:
                     self._shed_shard(index)
@@ -198,9 +230,10 @@ class ClusterRouter:
                     continue
                 shard_ids.append(index)
             self._sessions[session_id] = _ClusterSession(
-                session, tuple(shard_ids)
+                session,
+                tuple(shard_ids),
+                ledger_name=LEDGER.register(session_id, session.costs),
             )
-            LEDGER.register(session_id, session.costs)
             self._submitted_total.inc()
             return session_id
 
@@ -244,8 +277,8 @@ class ClusterRouter:
                     need = min(need, session.remaining)
                 prev_top = self._tops[index]
                 try:
-                    events, top = self._shards[index].call(
-                        "step_chunk", session_id, need, floor, self.chunk_size
+                    events, top = self._call(
+                        index, "step_chunk", session_id, need, floor, self.chunk_size
                     )
                 except ShardLostError:
                     self._shed_shard(index)
@@ -303,8 +336,8 @@ class ClusterRouter:
                     continue
                 sub_keys, sub_iotas = subsets[index]
                 try:
-                    self._tops[index] = self._shards[index].call(
-                        "reprioritize", session_id, sub_keys, sub_iotas
+                    self._tops[index] = self._call(
+                        index, "reprioritize", session_id, sub_keys, sub_iotas
                     )
                 except ShardLostError:
                     self._shed_shard(index)
@@ -341,8 +374,8 @@ class ClusterRouter:
                 sub_keys, sub_iotas = subsets[index]
                 mask = np.isin(sub_keys, np.fromiter(retry_keys, dtype=np.int64))
                 try:
-                    self._tops[index] = self._shards[index].call(
-                        "unskip", session_id, sub_keys[mask], sub_iotas[mask]
+                    self._tops[index] = self._call(
+                        index, "unskip", session_id, sub_keys[mask], sub_iotas[mask]
                     )
                 except ShardLostError:
                     self._shed_shard(index)
@@ -355,12 +388,13 @@ class ClusterRouter:
         with self._lock:
             record = self._session(session_id)
             del self._sessions[session_id]
+            LEDGER.unregister(record.ledger_name or session_id)
             for index in record.shard_ids:
                 if index in self._dead:
                     continue
                 try:
-                    self._tops[index] = self._shards[index].call(
-                        "deregister", session_id
+                    self._tops[index] = self._call(
+                        index, "deregister", session_id
                     )
                 except ShardLostError:
                     self._shed_shard(index)
@@ -377,7 +411,7 @@ class ClusterRouter:
                 if index in self._dead:
                     continue
                 try:
-                    per_shard[index] = self._shards[index].call("stats")
+                    per_shard[index] = self._call(index, "stats")
                 except ShardLostError:
                     self._shed_shard(index)
             totals = {
@@ -420,7 +454,7 @@ class ClusterRouter:
                 if index in self._dead:
                     continue
                 try:
-                    stats = self._shards[index].call("stats")
+                    stats = self._call(index, "stats")
                 except ShardLostError:
                     self._shed_shard(index)
                     continue
@@ -445,14 +479,142 @@ class ClusterRouter:
             ids = list(self._sessions)
         return {session_id: self.cost_report(session_id) for session_id in ids}
 
-    def healthz(self) -> dict:
-        """Liveness summary for the HTTP edge."""
+    def pull_telemetry(self, max_age: float | None = None) -> dict[int, dict]:
+        """Federate shard telemetry into the router (the tentpole pull).
+
+        Calls every live shard's ``telemetry`` RPC, absorbing process
+        workers' drained spans into the local trace ring (named
+        ``repro-shard-<i>`` lanes in the Chrome export) and caching each
+        payload — registry snapshot, backlog, breaker state, per-session
+        costs — for :meth:`federated_metrics_json` and :meth:`status`.
+        Inline shards are pulled health-only (``portable=False``): their
+        metrics and spans already live in this process.  ``max_age``
+        skips shards whose cached payload is younger, so the periodic
+        edge pull and an on-demand scrape don't double-poll.  A shard's
+        last payload is retained after it dies.  Returns the cache.
+        """
         with self._lock:
+            now = time.monotonic()
+            for index in sorted(self._shards):
+                if index in self._dead:
+                    continue
+                cached = self._telemetry.get(index)
+                if (
+                    max_age is not None
+                    and cached is not None
+                    and now - cached["pulled_at"] < max_age
+                ):
+                    continue
+                portable = bool(getattr(self._shards[index], "is_process", False))
+                try:
+                    payload = self._call(index, "telemetry", portable)
+                except ShardLostError:
+                    self._shed_shard(index)
+                    continue
+                payload["pulled_at"] = time.monotonic()
+                spans = payload.pop("spans", None)
+                if spans:
+                    absorb_portable(spans)
+                if portable:
+                    get_recorder().set_process_name(
+                        int(payload["pid"]), f"repro-shard-{index}"
+                    )
+                self._telemetry[index] = payload
+            self._telemetry_pulls.inc()
+            return dict(self._telemetry)
+
+    def federated_metrics_json(self) -> dict:
+        """The cluster-wide registry snapshot (local + cached shards).
+
+        Process shards' series arrive tagged ``shard="<i>"``; the local
+        registry's series (router, edge, inline shards) stay unlabeled.
+        Call :meth:`pull_telemetry` first for freshness — this reads the
+        cache only, so a scrape never blocks on a slow worker.
+        """
+        with self._lock:
+            tagged = [
+                (payload["metrics"], {"shard": str(index)})
+                for index, payload in sorted(self._telemetry.items())
+                if payload.get("metrics")
+            ]
+            return merge_registry_snapshots(self.registry.to_json(), tagged)
+
+    def federated_metrics_text(self) -> str:
+        """The federated snapshot in Prometheus 0.0.4 text form."""
+        return snapshot_to_prometheus(self.federated_metrics_json())
+
+    def status(self, trajectory_tail: int = 32) -> dict:
+        """The /status body: session convergence plus shard health.
+
+        Sessions report their progressive state (steps, bound, degraded
+        and skipped counts) with the tail of the Theorem-1 bound
+        trajectory; shards report liveness, heartbeat age, pipe
+        round-trip p50/p99 over the last :data:`RTT_WINDOW` commands,
+        and the cached backlog/breaker view from the latest telemetry
+        pull.  Everything is JSON-ready.
+        """
+        with self._lock:
+            now = time.monotonic()
+            sessions = {
+                session_id: encode_session_status(
+                    record.session,
+                    shard_ids=sorted(record.shard_ids),
+                    trajectory_tail=trajectory_tail,
+                )
+                for session_id, record in sorted(self._sessions.items())
+            }
+            shards = {}
+            for index in sorted(self._shards):
+                payload = self._telemetry.get(index) or {}
+                window = sorted(self._rtt.get(index, ()))
+                last = self._last_reply.get(index)
+                shards[str(index)] = {
+                    "shard": index,
+                    "alive": index not in self._dead,
+                    "pid": payload.get("pid"),
+                    "last_reply_age_s": (
+                        now - last if last is not None else None
+                    ),
+                    "rtt_p50_s": _quantile(window, 0.5),
+                    "rtt_p99_s": _quantile(window, 0.99),
+                    "backlog": payload.get("backlog"),
+                    "breaker": payload.get("breaker"),
+                    "live_sessions": payload.get("live_sessions"),
+                }
             return {
-                "shards": [
-                    {"shard": index, "up": index not in self._dead}
-                    for index in sorted(self._shards)
-                ],
+                "sessions": sessions,
+                "shards": shards,
+                "live_sessions": len(self._sessions),
+                "shed_shards": sorted(self._dead),
+                "partitioner": self.partitioner.describe(),
+            }
+
+    def healthz(self) -> dict:
+        """Liveness summary for the HTTP edge.
+
+        ``ok`` rolls up to False as soon as any shard has been shed —
+        the edge maps that to HTTP 503 so a load balancer can rotate the
+        replica out; the per-shard entries carry the detail (id,
+        liveness, seconds since the last successful pipe reply).
+        """
+        with self._lock:
+            now = time.monotonic()
+            shards = []
+            for index in sorted(self._shards):
+                last = self._last_reply.get(index)
+                shards.append(
+                    {
+                        "shard": index,
+                        "up": index not in self._dead,
+                        "alive": index not in self._dead,
+                        "last_reply_age_s": (
+                            now - last if last is not None else None
+                        ),
+                    }
+                )
+            return {
+                "ok": not self._dead,
+                "shards": shards,
                 "partitioner": self.partitioner.describe(),
                 "live_sessions": len(self._sessions),
                 "shed_shards": sorted(self._dead),
@@ -491,6 +653,25 @@ class ClusterRouter:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _call(self, index: int, method: str, *args):
+        """One shard command with round-trip accounting.
+
+        Every successful reply feeds the per-shard RTT histogram, the
+        bounded p50/p99 window, and the heartbeat timestamp /status and
+        /healthz report.  :class:`ShardLostError` propagates untimed —
+        the caller sheds the shard.
+        """
+        t0 = time.perf_counter()
+        result = self._shards[index].call(method, *args)
+        rtt = time.perf_counter() - t0
+        self._pipe_roundtrip.observe(rtt, shard=str(index))
+        window = self._rtt.get(index)
+        if window is None:
+            window = self._rtt[index] = deque(maxlen=RTT_WINDOW)
+        window.append(rtt)
+        self._last_reply[index] = time.monotonic()
+        return result
 
     def _session(self, session_id: str) -> _ClusterSession:
         try:

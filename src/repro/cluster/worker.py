@@ -28,10 +28,19 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 
 import numpy as np
 
 from repro.obs.ledger import CostAccount, activate as _charge_to
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import (
+    current_request_id,
+    drain_portable,
+    set_tracing,
+    span,
+    trace_context,
+)
 from repro.service.scheduler import SharedRetrievalScheduler
 
 #: Event kinds a worker emits from ``step``.
@@ -251,6 +260,47 @@ class ShardWorker:
             },
         }
 
+    def _breaker_state(self) -> str | None:
+        """The circuit-breaker state of the store stack, if it has one."""
+        store = self.store
+        while store is not None:
+            state = getattr(store, "breaker_state", None)
+            if state is not None:
+                return state
+            store = getattr(store, "inner", None)
+        return None
+
+    def telemetry(self, portable: bool = True) -> dict:
+        """One federation pull: health plus portable telemetry payloads.
+
+        Always reports shard identity, backlog (pending keys summed over
+        every registered stub), scheduler occupancy, breaker state, and
+        the per-session shard-side cost snapshots.  With ``portable``
+        (the process-worker case) it additionally snapshots this
+        process's metric registry (``MetricRegistry.to_json``) and
+        *drains* the trace ring (:func:`repro.obs.drain_portable`) so
+        repeated pulls ship each span exactly once.  Inline shards are
+        pulled with ``portable=False``: they share the router process's
+        registry and ring, and re-shipping those would double-count.
+        """
+        payload = {
+            "shard": self.shard,
+            "pid": os.getpid(),
+            "time": time.time(),
+            "live_sessions": self.scheduler.live_sessions,
+            "backlog": sum(
+                len(stub._pending) for stub, _ in self._stubs.values()
+            ),
+            "breaker": self._breaker_state(),
+            "costs": {
+                sid: stub.costs.to_dict() for sid, (stub, _) in self._stubs.items()
+            },
+        }
+        if portable:
+            payload["metrics"] = REGISTRY.to_json()
+            payload["spans"] = drain_portable()
+        return payload
+
     def close(self) -> None:
         close = getattr(self.store, "close", None)
         if close is not None:
@@ -312,23 +362,35 @@ def build_shard_store(spec: dict):
 def shard_worker_main(conn, spec: dict) -> None:
     """Process entry point: serve pipe commands until ``close``.
 
-    Every command is a ``(method, args)`` tuple; the reply is
-    ``(True, result)`` or ``(False, repr(error))``.  Unknown commands and
-    per-command exceptions are reported, not fatal — only a broken pipe
-    or ``close`` ends the loop.
+    Every command is a ``(method, args, ctx)`` tuple — ``ctx`` is the
+    originating request id (or None), bound as the worker-side trace
+    context so spans recorded while serving the command carry the same
+    ``request_id`` attribute as the edge/router spans of that request.
+    The reply is ``(True, result)`` or ``(False, repr(error))``.  Unknown
+    commands and per-command exceptions are reported, not fatal — only a
+    broken pipe or ``close`` ends the loop.  ``spec["trace"]`` turns span
+    recording on in the worker process (spawn children do not inherit
+    the parent's tracing switch); the router drains the resulting ring
+    via the ``telemetry`` command.
     """
+    if spec.get("trace"):
+        set_tracing(True)
     worker = ShardWorker(build_shard_store(spec), shard=int(spec.get("shard", 0)))
     try:
         while True:
             try:
-                method, args = conn.recv()
+                message = conn.recv()
             except (EOFError, OSError):
                 break
+            method, args, ctx = (
+                message if len(message) == 3 else (*message, None)
+            )
             if method == "close":
                 conn.send((True, None))
                 break
             try:
-                result = getattr(worker, method)(*args)
+                with trace_context(ctx), span(f"shard.{method}", shard=worker.shard):
+                    result = getattr(worker, method)(*args)
             except Exception as exc:  # noqa: BLE001 - reported to the router
                 conn.send((False, repr(exc)))
             else:
@@ -341,6 +403,11 @@ def shard_worker_main(conn, spec: dict) -> None:
 class InlineShard:
     """A shard worker driven by direct calls (tests, benchmarks, CLI
     ``--inline-shards`` for subprocess-restricted environments)."""
+
+    #: Inline shards live in the router process — their metrics and spans
+    #: are already in the local registry/ring, so federation must not
+    #: re-absorb them (see :meth:`ShardWorker.telemetry`).
+    is_process = False
 
     def __init__(self, worker: ShardWorker) -> None:
         self._worker = worker
@@ -361,6 +428,8 @@ class InlineShard:
 class ProcessShard:
     """A shard worker in its own OS process, driven over a pipe."""
 
+    is_process = True
+
     def __init__(self, process, conn, shard: int, timeout: float = 30.0) -> None:
         self._process = process
         self._conn = conn
@@ -372,7 +441,7 @@ class ProcessShard:
         if not self.alive:
             raise ShardLostError(self.shard, "shard already lost")
         try:
-            self._conn.send((method, args))
+            self._conn.send((method, args, current_request_id()))
             if not self._conn.poll(self.timeout):
                 raise ShardLostError(self.shard, f"no reply in {self.timeout}s")
             ok, payload = self._conn.recv()
@@ -402,7 +471,7 @@ class ProcessShard:
             return
         self.alive = False
         try:
-            self._conn.send(("close", ()))
+            self._conn.send(("close", (), None))
             if self._conn.poll(join_timeout):
                 self._conn.recv()
         except (EOFError, OSError, BrokenPipeError):
@@ -433,6 +502,7 @@ def start_shard_processes(
     chaos_shard: int | None = None,
     timeout: float = 30.0,
     start_method: str = "spawn",
+    trace: bool = False,
 ) -> list[ProcessShard]:
     """Spawn ``num_shards`` worker processes over one paged file.
 
@@ -440,6 +510,8 @@ def start_shard_processes(
     page cache across the whole cluster); each will be sent only the keys
     the router's partitioner assigns to it.  ``chaos`` applies the fault
     spec to every shard, or to just ``chaos_shard`` when given.
+    ``trace`` turns span recording on inside each worker process so
+    telemetry pulls can ship the spans back for a merged Chrome trace.
     """
     ctx = mp.get_context(start_method)
     shards: list[ProcessShard] = []
@@ -450,6 +522,7 @@ def start_shard_processes(
                 "buffer_pages": buffer_pages,
                 "shared": shared,
                 "shard": index,
+                "trace": bool(trace),
                 "chaos": chaos
                 if chaos_shard is None or chaos_shard == index
                 else None,

@@ -45,17 +45,22 @@ from repro.obs.metrics import (
     MetricRegistry,
     REGISTRY,
     enabled,
+    merge_registry_snapshots,
     set_enabled,
+    snapshot_to_prometheus,
 )
 from repro.obs.profile import SamplingProfiler, profile_run
 from repro.obs.trace import (
     SpanRecord,
     TraceRecorder,
     absorb_portable,
+    current_request_id,
+    drain_portable,
     export_portable,
     get_recorder,
     set_tracing,
     span,
+    trace_context,
     tracing_enabled,
 )
 
@@ -76,14 +81,19 @@ __all__ = [
     "SpanRecord",
     "TraceRecorder",
     "absorb_portable",
+    "current_request_id",
+    "drain_portable",
     "enabled",
     "export_portable",
     "get_recorder",
     "merge_cost_reports",
+    "merge_registry_snapshots",
     "profile_run",
     "set_enabled",
     "set_tracing",
+    "snapshot_to_prometheus",
     "span",
     "start_metrics_server",
     "tracing_enabled",
+    "trace_context",
 ]

@@ -266,6 +266,13 @@ class CostLedger:
             for name, account in sorted(self.accounts().items())
         }
 
+    def unregister(self, name: str) -> None:
+        """Drop one account (the router does this when a session is
+        cancelled, so a long-lived service's ledger does not grow without
+        bound).  Unknown names are ignored."""
+        with self._lock:
+            self._accounts.pop(name, None)
+
     def reset(self) -> None:
         """Forget every account (benchmarks do this between trials)."""
         with self._lock:

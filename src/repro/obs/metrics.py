@@ -418,3 +418,115 @@ class MetricRegistry:
 
 #: The process-global default registry every subsystem reports into.
 REGISTRY = MetricRegistry()
+
+
+# ----------------------------------------------------------------------
+# Registry-snapshot federation
+# ----------------------------------------------------------------------
+#
+# A sharded cluster has one MetricRegistry *per process*; live Metric
+# objects cannot cross a pipe, but their ``to_json()`` snapshots can.
+# The helpers below operate on that snapshot shape — merge several
+# processes' snapshots into one (tagging each remote process's samples
+# with an identifying label, e.g. ``shard="1"``) and render a snapshot
+# in the Prometheus 0.0.4 text format, so a federated ``/metrics`` is
+# indistinguishable from a scrape of one big registry.
+
+
+def merge_registry_snapshots(base: dict, tagged: Iterable[tuple[dict, Mapping[str, str]]]) -> dict:
+    """Merge ``to_json()`` snapshots into one federated snapshot.
+
+    ``base`` is the local registry's snapshot (samples kept verbatim);
+    each ``(snapshot, extra_labels)`` in ``tagged`` contributes its
+    samples with ``extra_labels`` added (the ``shard`` label, in the
+    cluster), which keeps same-name series from different processes
+    distinct.  Families merge by name; on a kind mismatch (a programming
+    error between processes) the remote family is dropped rather than
+    emitting an exposition that no scraper would accept.  Inputs are not
+    mutated.
+    """
+    merged: dict = {}
+    for name, family in base.items():
+        merged[name] = {
+            "kind": family["kind"],
+            "help": family["help"],
+            "labelnames": list(family["labelnames"]),
+            "samples": [dict(sample) for sample in family["samples"]],
+        }
+    for snapshot, extra_labels in tagged:
+        extra = {str(k): str(v) for k, v in dict(extra_labels).items()}
+        for name, family in snapshot.items():
+            into = merged.get(name)
+            if into is None:
+                into = merged[name] = {
+                    "kind": family["kind"],
+                    "help": family["help"],
+                    "labelnames": list(family["labelnames"]) + list(extra),
+                    "samples": [],
+                }
+            elif into["kind"] != family["kind"]:
+                continue
+            else:
+                for labelname in list(family["labelnames"]) + list(extra):
+                    if labelname not in into["labelnames"]:
+                        into["labelnames"].append(labelname)
+            for sample in family["samples"]:
+                tagged_sample = dict(sample)
+                tagged_sample["labels"] = dict(sample["labels"], **extra)
+                into["samples"].append(tagged_sample)
+    return dict(sorted(merged.items()))
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Render a ``to_json()``-shaped snapshot as 0.0.4 exposition text.
+
+    Mirrors :meth:`MetricRegistry.render_prometheus` sample for sample —
+    including the implicit ``0`` for an unlabeled counter/gauge that has
+    never been touched — so a federated cluster scrape and a
+    single-process scrape validate against the same strict linter
+    (``tests/promparse.py::validate_exposition``).
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family["kind"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        samples = family["samples"]
+        if kind == "histogram":
+            for sample in samples:
+                labels = dict(sample["labels"])
+                cumulative = 0.0
+                for bound, count in sorted(
+                    sample["buckets"].items(), key=lambda kv: float(kv[0])
+                ):
+                    cumulative += count
+                    le = dict(labels, le=bound)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(le)} "
+                        f"{_format_value(cumulative)}"
+                    )
+                le = dict(labels, le="+Inf")
+                lines.append(
+                    f"{name}_bucket{_render_labels(le)} "
+                    f"{_format_value(sample['count'])}"
+                )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} "
+                    f"{_format_value(sample['count'])}"
+                )
+            continue
+        if not samples and not family["labelnames"]:
+            lines.append(f"{name} 0")
+            continue
+        for sample in samples:
+            lines.append(
+                f"{name}{_render_labels(sample['labels'])} "
+                f"{_format_value(sample['value'])}"
+            )
+    return "\n".join(lines) + "\n"

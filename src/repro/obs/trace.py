@@ -17,7 +17,20 @@ Workers therefore ship their spans back through the pool future results
 as portable tuples (:func:`export_portable`, timestamps re-anchored to
 the wall-clock epoch) and the parent merges them with
 :func:`absorb_portable` — they keep the worker's pid, so a ``workers>1``
-trace shows the pool as separate process tracks.
+trace shows the pool as separate process tracks.  Long-lived shard
+workers use :func:`drain_portable` instead (export + clear in one lock
+hold), so periodic telemetry pulls never ship a span twice, and the
+absorbing side can name the foreign lane with
+:meth:`TraceRecorder.set_process_name` (``repro-shard-0`` instead of the
+anonymous ``repro-worker-<pid>``).
+
+Cross-process *request* correlation: :class:`trace_context` binds a
+request id to the current thread; every span completed while a context
+is bound carries a ``request_id`` attribute.  The HTTP edge opens a
+context per request, the shard pipe protocol forwards the bound id with
+every command, and the worker re-binds it around command execution — so
+one submit/advance renders as a single filterable flamegraph spanning
+the edge, the router, and every shard process it touched.
 
 The ring drops the *oldest* span on overflow; every drop increments the
 ``repro_trace_spans_dropped_total`` counter and the recorder's
@@ -88,6 +101,7 @@ class TraceRecorder:
         self._buffer: deque[SpanRecord] = deque(maxlen=int(capacity))
         self._lock = threading.Lock()
         self._tids: dict[int, tuple[int, str]] = {}
+        self._process_names: dict[int, str] = {}
         self._dropped = 0
 
     @property
@@ -129,10 +143,21 @@ class TraceRecorder:
         with self._lock:
             return list(self._buffer)
 
+    def set_process_name(self, pid: int, name: str) -> None:
+        """Name a foreign pid's lane in the Chrome export (e.g. a shard).
+
+        Absorbed spans keep their worker's pid; without a name the lane
+        renders as ``repro-worker-<pid>``.  The cluster router names its
+        shard lanes ``repro-shard-<index>`` when it federates telemetry.
+        """
+        with self._lock:
+            self._process_names[int(pid)] = str(name)
+
     def clear(self) -> None:
         with self._lock:
             self._buffer.clear()
             self._tids.clear()
+            self._process_names.clear()
             self._dropped = 0
 
     # -- exposition ----------------------------------------------------
@@ -143,6 +168,7 @@ class TraceRecorder:
         with self._lock:
             records = list(self._buffer)
             tids = dict(self._tids)
+            process_names = dict(self._process_names)
         events: list[dict] = [
             {
                 "name": "thread_name",
@@ -175,7 +201,7 @@ class TraceRecorder:
                 "ph": "M",
                 "pid": pid,
                 "tid": 0,
-                "args": {"name": f"repro-worker-{pid}"},
+                "args": {"name": process_names.get(pid, f"repro-worker-{pid}")},
             }
             for pid in sorted(foreign_pids)
         ]
@@ -244,6 +270,55 @@ def get_recorder() -> TraceRecorder:
 
 
 # ----------------------------------------------------------------------
+# Request-scoped trace context
+# ----------------------------------------------------------------------
+
+_context = threading.local()
+
+
+class trace_context:
+    """Bind a request id to the current thread for the enclosed region.
+
+    Every span that *completes* while a context is bound carries a
+    ``request_id`` attribute, which is what lets a Chrome trace be
+    filtered down to one end-to-end request across the edge, the router,
+    and the shard workers.  Contexts nest (a stack per thread); binding
+    ``None`` is a no-op marker that keeps call sites unconditional.
+
+    Thread-scoped on purpose: the HTTP edge binds it inside the worker
+    thread that runs the router call (never across an ``await``), and the
+    shard pipe protocol re-binds the forwarded id in the worker process.
+    """
+
+    __slots__ = ("_request_id",)
+
+    def __init__(self, request_id: str | None) -> None:
+        self._request_id = request_id
+
+    def __enter__(self) -> "trace_context":
+        stack = getattr(_context, "stack", None)
+        if stack is None:
+            stack = _context.stack = []
+        stack.append(self._request_id)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _context.stack.pop()
+        return False
+
+
+def current_request_id() -> str | None:
+    """The innermost non-None request id bound to this thread, or None."""
+    stack = getattr(_context, "stack", None)
+    if not stack:
+        return None
+    for request_id in reversed(stack):
+        if request_id is not None:
+            return request_id
+    return None
+
+
+# ----------------------------------------------------------------------
 # Cross-process span shipping
 # ----------------------------------------------------------------------
 
@@ -262,6 +337,19 @@ def export_portable() -> list[tuple]:
         (rec.name, rec.ts_us + anchor, rec.dur_us, pid, rec.tid, rec.attrs)
         for rec in _recorder.records()
     ]
+
+
+def drain_portable() -> list[tuple]:
+    """Export the recorder's spans portably and clear the ring.
+
+    The federation form of :func:`export_portable`: a long-lived shard
+    worker answers periodic telemetry pulls, so it must hand each span
+    over exactly once — export and clear happen before returning, and the
+    next pull starts from an empty ring.
+    """
+    spans = export_portable()
+    _recorder.clear()
+    return spans
 
 
 def absorb_portable(spans) -> int:
@@ -306,10 +394,14 @@ class span:
         t0 = self._t0
         if t0 is not None and _enabled:
             t1 = time.perf_counter()
+            attrs = self.attrs
+            request_id = current_request_id()
+            if request_id is not None:
+                attrs = dict(attrs, request_id=request_id)
             _recorder.add(
                 self.name,
                 ts_us=(t0 - _T0) * 1e6,
                 dur_us=(t1 - t0) * 1e6,
-                attrs=self.attrs,
+                attrs=attrs,
             )
         return False

@@ -141,6 +141,132 @@ class TestObservability:
         assert health["max_inflight"] == 32
         client.cancel(sid)
 
+    def test_metrics_json_and_status_helpers(self, edge):
+        _, client = edge
+        sid = client.submit(make_batch(37))
+        client.advance(sid, 10)
+        snapshot = client.metrics()
+        family = snapshot["repro_cluster_sessions_submitted_total"]
+        assert family["kind"] == "counter" and family["samples"]
+        status = client.status()
+        entry = status["sessions"][sid]
+        assert entry["steps_taken"] == 10 and not entry["is_exact"]
+        assert entry["bound_trajectory"]
+        # Inline shards still report heartbeat + RTT from the pipe-call
+        # accounting; pid comes from telemetry (this same process here).
+        for shard in status["shards"].values():
+            assert shard["alive"] and shard["rtt_p50_s"] > 0.0
+            assert shard["last_reply_age_s"] >= 0.0
+        client.cancel(sid)
+
+    def test_edge_request_metrics_label_routes(self, edge):
+        _, client = edge
+        sid = client.submit(make_batch(39))
+        client.advance(sid, 4)
+        client.cancel(sid)
+        text = client.metrics_text()
+        assert 'route="POST /sessions",status="201"' in text
+        assert 'route="POST /sessions/{id}/advance"' in text
+        assert 'route="DELETE /sessions/{id}"' in text
+        assert "repro_edge_request_seconds_bucket" in text
+        assert "repro_edge_response_bytes_sum" in text
+
+    def test_healthz_is_503_once_a_shard_is_shed(self, storage, tmp_path):
+        router = build_cluster(
+            storage, tmp_path / "hz.pages", 2,
+            process_shards=False, buffer_pages=16,
+        )
+        server = ClusterHttpServer(
+            router, port=0, access_log=False
+        ).start_in_thread()
+        client = ClusterClient("127.0.0.1", server.port)
+        try:
+            assert client.healthz()["ok"]
+            router._shed_shard(1)
+            # The client surfaces the 503 body instead of raising, so
+            # the per-shard detail stays reachable when unhealthy.
+            health = client.healthz()
+            assert not health["ok"]
+            assert [s["up"] for s in health["shards"]] == [True, False]
+            import http.client
+
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10
+            )
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 503
+            response.read()
+            conn.close()
+        finally:
+            client.close()
+            server.close()
+
+
+class TestRequestIds:
+    def test_request_id_is_echoed_and_recorded(self, edge):
+        _, client = edge
+        client.sessions()
+        first = client.last_request_id
+        assert first and len(first) == 12
+        client.sessions()
+        assert client.last_request_id != first  # fresh id per request
+
+    def test_next_request_id_overrides_once(self, edge):
+        _, client = edge
+        client.next_request_id = "req-pinned-77"
+        client.sessions()
+        assert client.last_request_id == "req-pinned-77"
+        assert client.next_request_id is None
+        client.sessions()
+        assert client.last_request_id != "req-pinned-77"
+
+    def test_server_assigns_id_when_client_sends_none(self, edge):
+        server, _ = edge
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        conn.request("GET", "/healthz")
+        response = conn.getresponse()
+        assert response.getheader("X-Request-Id")
+        response.read()
+        conn.close()
+
+
+class TestAccessLog:
+    def test_structured_access_log_lines(self, storage, tmp_path):
+        lines: list[str] = []
+        router = build_cluster(
+            storage, tmp_path / "log.pages", 2,
+            process_shards=False, buffer_pages=16,
+        )
+        server = ClusterHttpServer(
+            router, port=0, access_log=lines.append
+        ).start_in_thread()
+        client = ClusterClient("127.0.0.1", server.port)
+        try:
+            client.next_request_id = "req-logged-1"
+            sid = client.submit(make_batch(31))
+            client.cancel(sid)
+            import time as _time
+
+            deadline = _time.time() + 5.0
+            while len(lines) < 2 and _time.time() < deadline:
+                _time.sleep(0.01)
+            entries = [json.loads(line) for line in lines]
+            submit = entries[0]
+            assert submit["request_id"] == "req-logged-1"
+            assert submit["method"] == "POST" and submit["path"] == "/sessions"
+            assert submit["route"] == "POST /sessions"
+            assert submit["status"] == 201 and submit["bytes"] > 0
+            assert submit["duration_ms"] >= 0 and submit["slow"] is False
+            assert {e["route"] for e in entries} >= {
+                "POST /sessions", "DELETE /sessions/{id}",
+            }
+        finally:
+            client.close()
+            server.close()
+
 
 class TestBackpressure:
     def test_admission_control_rejects_with_retry_after(

@@ -1,0 +1,190 @@
+"""Cluster telemetry federation over real process shards.
+
+The tentpole acceptance gates live here: a 2-process-shard cluster must
+expose shard-labeled series on the federated ``/metrics``, a single
+Chrome trace must interleave spans from three distinct pids (router +
+both workers) under one request id, ``/status`` must report per-shard
+heartbeat/round-trip health, and SIGKILL-ing a worker mid-run must leave
+the merged exposition valid with the dead shard marked down while
+answers stay degraded-but-bounded.
+
+Process shards spawn real children, so everything here runs from a real
+test file (``multiprocessing`` spawn re-imports ``__main__``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster import ClusterClient, ClusterHttpServer, build_cluster
+from repro.queries.workload import partition_count_batch
+from repro.storage.wavelet_store import WaveletStorage
+from tests.promparse import validate_exposition
+
+REQUEST_ID = "req-telemetry-1"
+
+
+@pytest.fixture(scope="module")
+def storage():
+    rng = np.random.default_rng(99)
+    data = rng.poisson(2.0, size=(32, 32)).astype(np.float64)
+    return WaveletStorage.build(data, wavelet="db2")
+
+
+def make_batch(seed: int):
+    return partition_count_batch(
+        (32, 32), (3, 3), rng=np.random.default_rng(seed)
+    )
+
+
+@pytest.fixture(scope="module")
+def fed(storage, tmp_path_factory):
+    """A traced 2-process-shard cluster after one federated pull.
+
+    Runs a session to completion under one request id with tracing on in
+    the router *and* both workers, then pulls telemetry once — the tests
+    below assert on the resulting federated registry, trace ring, and
+    status/health views without redoing the (spawn-heavy) setup.
+    """
+    was_tracing = obs.tracing_enabled()
+    obs.set_tracing(True)
+    obs.get_recorder().clear()
+    path = tmp_path_factory.mktemp("fed") / "fed.pages"
+    router = build_cluster(
+        storage, path, 2, process_shards=True, buffer_pages=16, trace=True
+    )
+    try:
+        with obs.trace_context(REQUEST_ID):
+            sid = router.submit(make_batch(41))
+            while router.advance(sid, 64):
+                pass
+        telemetry = router.pull_telemetry()
+        yield router, sid, telemetry
+    finally:
+        router.close()
+        obs.set_tracing(was_tracing)
+        obs.get_recorder().clear()
+
+
+class TestFederation:
+    def test_pull_reaches_both_worker_processes(self, fed):
+        router, _, telemetry = fed
+        assert sorted(telemetry) == [0, 1]
+        pids = {payload["pid"] for payload in telemetry.values()}
+        assert len(pids) == 2 and os.getpid() not in pids
+        for index, payload in telemetry.items():
+            assert payload["shard"] == index
+            assert payload["metrics"], "process shards ship their registry"
+            assert payload["backlog"] == 0  # session ran to exact
+            assert "spans" not in payload  # drained into the local ring
+
+    def test_federated_metrics_carry_shard_labels(self, fed):
+        router, _, _ = fed
+        snapshot = router.federated_metrics_json()
+        shard_labels = {
+            sample["labels"].get("shard")
+            for family in snapshot.values()
+            for sample in family["samples"]
+        }
+        assert {"0", "1"} <= shard_labels
+        # Local (router-side) series stay unlabeled next to the tagged
+        # worker series — the merge extends labelnames per family.
+        assert "repro_cluster_sessions_submitted_total" in snapshot
+
+    def test_federated_exposition_is_strictly_valid(self, fed):
+        router, _, _ = fed
+        text = router.federated_metrics_text()
+        assert validate_exposition(text) == []
+        assert 'shard="0"' in text and 'shard="1"' in text
+
+    def test_chrome_trace_interleaves_three_pids_under_request_id(self, fed):
+        trace = obs.get_recorder().to_chrome_trace()
+        by_request = {
+            event["pid"]
+            for event in trace["traceEvents"]
+            if event.get("ph") == "X"
+            and event.get("args", {}).get("request_id") == REQUEST_ID
+        }
+        assert len(by_request) >= 3  # router + both shard workers
+        lanes = {
+            event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event.get("name") == "process_name"
+        }
+        assert {"repro-shard-0", "repro-shard-1"} <= lanes
+
+    def test_status_reports_heartbeat_and_rtt(self, fed):
+        router, sid, _ = fed
+        status = router.status()
+        assert status["sessions"][sid]["is_exact"]
+        trajectory = status["sessions"][sid]["bound_trajectory"]
+        assert trajectory, "/status carries the bound-descent tail"
+        bounds = [point["worst_case_bound"] for point in trajectory]
+        assert bounds == sorted(bounds, reverse=True)
+        for entry in status["shards"].values():
+            assert entry["alive"]
+            assert entry["pid"] is not None
+            assert entry["last_reply_age_s"] >= 0.0
+            assert entry["rtt_p50_s"] > 0.0
+            assert entry["rtt_p99_s"] >= entry["rtt_p50_s"]
+
+    def test_cached_pull_skips_fresh_payloads(self, fed):
+        router, _, _ = fed
+        before = {i: p["pulled_at"] for i, p in router.pull_telemetry(
+            max_age=3600.0
+        ).items()}
+        after = {i: p["pulled_at"] for i, p in router.pull_telemetry(
+            max_age=3600.0
+        ).items()}
+        assert before == after  # within max_age: cache served, no re-poll
+
+
+class TestChaosKill:
+    def test_sigkill_mid_run_degrades_but_stays_bounded(
+        self, storage, tmp_path
+    ):
+        router = build_cluster(
+            storage, tmp_path / "chaos.pages", 2,
+            process_shards=True, buffer_pages=16,
+        )
+        server = ClusterHttpServer(
+            router, port=0, telemetry_interval=0.0, access_log=False
+        ).start_in_thread()
+        client = ClusterClient("127.0.0.1", server.port, timeout=30.0)
+        try:
+            sid = client.submit(make_batch(43))
+            client.advance(sid, 8)
+            # Cache both workers' series, then hard-kill one mid-run.
+            router.pull_telemetry()
+            router._shards[1].kill()
+            while client.advance(sid, 64)["gained"]:
+                pass
+            snap = client.poll(sid)
+            assert snap["degraded"] and snap["skipped_count"] > 0
+            assert not snap["is_exact"]
+            assert 0.0 < snap["worst_case_bound"] < float("inf")
+
+            # The merged exposition must survive the outage: still
+            # strictly valid, dead shard marked down, and its last
+            # pulled series retained under shard="1".
+            text = client.metrics_text()
+            assert validate_exposition(text) == []
+            assert 'repro_cluster_shard_up{shard="1"} 0' in text
+            assert 'repro_cluster_shard_up{shard="0"} 1' in text
+            assert 'shard="1"' in text
+
+            status = client.status()
+            assert status["shards"]["0"]["alive"]
+            assert not status["shards"]["1"]["alive"]
+            assert status["shed_shards"] == [1]
+
+            health = client.healthz()
+            assert not health["ok"]
+            assert [s["up"] for s in health["shards"]] == [True, False]
+        finally:
+            client.close()
+            server.close()
