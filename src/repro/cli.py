@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import tempfile
 import threading
@@ -473,9 +474,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     degraded-but-bounded answers over HTTP.  ``--trace-out`` records
     spans in the edge *and every shard process*; on shutdown a final
     telemetry pull merges the shard rings into one Chrome trace with
-    ``repro-shard-<i>`` process lanes.  See ``docs/CLUSTER.md``.
+    ``repro-shard-<i>`` process lanes.  ``--supervise`` attaches the
+    shard supervisor — a killed worker is respawned with bounded backoff
+    (``--restart-backoff`` base delay, ``--max-restarts`` flap cap), the
+    session journal is replayed onto it, and answers heal back to
+    bit-exact.  SIGTERM drains gracefully: new sessions get 503 +
+    Retry-After while in-flight requests finish, then the final
+    telemetry pull and trace export run and the process exits 0.  See
+    ``docs/CLUSTER.md``.
     """
-    from repro.cluster import ClusterHttpServer, build_cluster
+    from repro.cluster import ClusterHttpServer, RestartPolicy, build_cluster
 
     relation = _build_relation(args)
     storage = WaveletStorage.build(
@@ -513,7 +521,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     server = None
     router = None
+    access_log_file = None
     tracing = _start_trace(args)
+    stop = threading.Event()
     try:
         router = build_cluster(
             storage,
@@ -526,19 +536,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
             chaos=chaos,
             chaos_shard=args.chaos_shard,
             trace=tracing,
+            supervise=args.supervise,
+            restart_policy=RestartPolicy(
+                max_restarts=args.max_restarts,
+                base_delay=args.restart_backoff,
+            )
+            if args.supervise
+            else None,
         )
+        access_log = None
+        if args.access_log:
+            access_log_file = open(args.access_log, "a", encoding="utf-8")
+
+            def access_log(line: str) -> None:
+                access_log_file.write(line + "\n")
+                access_log_file.flush()
+
         server = ClusterHttpServer(
             router,
             host=args.host,
             port=args.port,
             max_inflight=args.max_inflight,
             telemetry_interval=args.telemetry_interval,
+            access_log=access_log,
         ).start_in_thread()
+
+        def _on_sigterm(signum, frame):  # noqa: ARG001 - signal signature
+            stop.set()
+
+        try:
+            signal.signal(signal.SIGTERM, _on_sigterm)
+        except ValueError:
+            pass  # not the main thread (embedded use); SIGTERM stays default
         mode = "inline" if args.inline_shards else "process"
         print(
             f"cluster edge listening on http://{args.host}:{server.port} | "
             f"{args.shards} {mode} shard(s) | partitioner {args.partitioner} | "
-            f"{'x'.join(map(str, relation.shape))} domain",
+            f"{'x'.join(map(str, relation.shape))} domain"
+            + (" | supervised" if args.supervise else ""),
             flush=True,
         )
         print(
@@ -547,13 +582,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "GET /metrics /metrics.json /costs.json /status /healthz",
             flush=True,
         )
-        threading.Event().wait()
+        stop.wait()
+        print("SIGTERM received: draining edge", flush=True)
+        drained = server.drain()
+        print(
+            "drain complete" if drained else "drain timed out; closing anyway",
+            flush=True,
+        )
     except KeyboardInterrupt:
         print("shutting down", flush=True)
     finally:
-        if tracing and router is not None:
-            # Last pull before teardown so the exported trace interleaves
-            # every shard's remaining spans with the edge's.
+        if router is not None:
+            # Last pull before teardown so the final counters land in the
+            # edge registry and (when tracing) the exported trace
+            # interleaves every shard's remaining spans with the edge's.
             try:
                 router.pull_telemetry()
             except Exception:  # noqa: BLE001 - shutdown must not fail
@@ -562,6 +604,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             server.close()
         if tracing:
             _finish_trace(args)
+        if access_log_file is not None:
+            access_log_file.close()
         tmpdir.cleanup()
     return 0
 
@@ -799,6 +843,21 @@ def build_parser() -> argparse.ArgumentParser:
                            dest="telemetry_interval",
                            help="seconds between background shard telemetry "
                            "pulls (0 disables; scrapes still pull on demand)")
+    p_cluster.add_argument("--supervise", action="store_true",
+                           help="respawn dead shard workers, replay the "
+                           "session journal, and heal answers to bit-exact")
+    p_cluster.add_argument("--restart-backoff", type=float, default=0.05,
+                           dest="restart_backoff",
+                           help="base delay (s) of the supervisor's bounded "
+                           "exponential restart backoff")
+    p_cluster.add_argument("--max-restarts", type=_positive_int, default=5,
+                           dest="max_restarts",
+                           help="flap cap: give up on a shard after this many "
+                           "restarts inside the rolling window (it is then "
+                           "permanently shed)")
+    p_cluster.add_argument("--access-log", default=None, dest="access_log",
+                           help="append one line per HTTP request to this "
+                           "file (method, path, status, duration, request id)")
     p_cluster.set_defaults(func=cmd_serve)
 
     p_metrics = sub.add_parser(

@@ -43,11 +43,17 @@ from repro.cluster.partition import (
     make_partitioner,
 )
 from repro.cluster.router import ClusterMetrics, ClusterRouter
+from repro.cluster.supervise import (
+    SHARD_STATE_VALUES,
+    RestartPolicy,
+    ShardSupervisor,
+)
 from repro.cluster.worker import (
     InlineShard,
     ProcessShard,
     ShardLostError,
     ShardWorker,
+    spawn_shard,
     start_inline_shards,
     start_shard_processes,
 )
@@ -65,7 +71,10 @@ __all__ = [
     "LevelRangePartitioner",
     "Partitioner",
     "ProcessShard",
+    "RestartPolicy",
+    "SHARD_STATE_VALUES",
     "ShardLostError",
+    "ShardSupervisor",
     "ShardWorker",
     "build_cluster",
     "decode_batch",
@@ -74,6 +83,7 @@ __all__ = [
     "encode_query",
     "make_partitioner",
     "snapshot_to_json",
+    "spawn_shard",
     "start_inline_shards",
     "start_shard_processes",
 ]
@@ -94,6 +104,8 @@ def build_cluster(
     registry=None,
     chunk_size: int | None = None,
     trace: bool = False,
+    supervise: bool = False,
+    restart_policy: RestartPolicy | None = None,
 ) -> ClusterRouter:
     """Serialize ``storage`` to a paged file and stand up an N-shard router.
 
@@ -108,6 +120,14 @@ def build_cluster(
     recording on inside process workers so ``pull_telemetry`` can merge
     their spans into one cluster-wide Chrome trace (inline shards follow
     the process-wide tracing switch instead).
+
+    ``supervise=True`` attaches a
+    :class:`~repro.cluster.supervise.ShardSupervisor` whose respawn
+    factory rebuilds a worker from the same spec the original was
+    started with — a dead shard becomes ``recovering`` instead of
+    permanently shed, and on respawn the router replays the session
+    journal and re-drives the skipped keys so answers heal back to
+    bit-exact (``restart_policy`` tunes the backoff and flap cap).
 
     The returned router owns the shards and its store slice: ``close()``
     (or the context manager) tears the whole cluster down.
@@ -138,10 +158,46 @@ def build_cluster(
             chaos_shard=chaos_shard,
         )
     kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
-    return ClusterRouter(
+    router = ClusterRouter(
         storage.with_store(router_store),
         shards,
         make_partitioner(partitioner, num_shards, router_store.key_space_size),
         registry=registry,
         **kwargs,
     )
+    if supervise:
+        if process_shards:
+
+            def factory(index: int):
+                return spawn_shard(
+                    path,
+                    index,
+                    buffer_pages=buffer_pages,
+                    chaos=chaos
+                    if chaos_shard is None or chaos_shard == index
+                    else None,
+                    timeout=timeout,
+                    start_method=start_method,
+                    trace=trace,
+                )
+
+        else:
+            from repro.cluster.worker import build_shard_store
+
+            def factory(index: int):
+                spec = {
+                    "path": str(path),
+                    "buffer_pages": buffer_pages,
+                    "shared": True,
+                    "chaos": chaos
+                    if chaos_shard is None or chaos_shard == index
+                    else None,
+                }
+                return InlineShard(
+                    ShardWorker(build_shard_store(spec), shard=index)
+                )
+
+        router.attach_supervisor(
+            ShardSupervisor(router, factory, policy=restart_policy)
+        )
+    return router

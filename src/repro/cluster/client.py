@@ -15,12 +15,21 @@ set once via :attr:`ClusterClient.next_request_id`); the edge echoes it
 back and the client records the echo in
 :attr:`ClusterClient.last_request_id` — grep the server's access log or
 the merged Chrome trace for that id to see the request end to end.
+
+Transient transport failures (a stale keep-alive, a connection refused
+mid-restart, a socket timeout) always get one free immediate reconnect;
+``retries=N`` allows N further resends with deterministic bounded
+exponential backoff, every attempt reusing the *same* ``X-Request-Id``
+so the edge's access log shows one logical request.  Off by default —
+resubmitting a POST is only safe when the caller knows the request is
+idempotent or never reached the server.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 import uuid
 
 import numpy as np
@@ -49,10 +58,31 @@ class ClusterBusyError(ClusterApiError):
 class ClusterClient:
     """Synchronous JSON client for one cluster edge endpoint."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 0,
+        retry_base_delay: float = 0.05,
+        retry_multiplier: float = 2.0,
+        retry_max_delay: float = 1.0,
+        sleep=time.sleep,
+    ) -> None:
+        """``retries`` adds that many backed-off transport resends on top
+        of the always-on free reconnect; the delay before paid retry
+        ``r`` is ``min(retry_max_delay, retry_base_delay *
+        retry_multiplier**(r-1))`` — deterministic, no jitter, same
+        shape as :class:`~repro.storage.resilient.RetryPolicy`.
+        ``sleep`` is injectable for tests."""
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.retry_base_delay = float(retry_base_delay)
+        self.retry_multiplier = float(retry_multiplier)
+        self.retry_max_delay = float(retry_max_delay)
+        self._sleep = sleep
         self._conn: http.client.HTTPConnection | None = None
         #: The request id the edge echoed back for the last request.
         self.last_request_id: str | None = None
@@ -63,6 +93,21 @@ class ClusterClient:
 
     # -- transport ------------------------------------------------------
 
+    def _send(self, method: str, path: str, body, headers: dict):
+        """One wire attempt over the (possibly fresh) keep-alive conn."""
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        self._conn.request(method, path, body=body, headers=headers)
+        response = self._conn.getresponse()
+        return response, response.read()
+
+    def _reset_conn(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
     def _request(
         self,
         method: str,
@@ -70,8 +115,12 @@ class ClusterClient:
         payload: dict | None = None,
         accept: tuple[int, ...] = (),
     ):
-        """One round-trip; ``accept`` lists error statuses whose JSON body
-        should be returned instead of raised (healthz detail on 503)."""
+        """One logical round-trip; ``accept`` lists error statuses whose
+        JSON body should be returned instead of raised (healthz detail
+        on 503).  Transport attempts: the initial send, one free
+        immediate reconnect (a stale keep-alive socket is routine), then
+        up to :attr:`retries` backed-off resends — all carrying the same
+        ``X-Request-Id``."""
         body = None
         request_id = self.next_request_id or uuid.uuid4().hex[:12]
         self.next_request_id = None
@@ -79,23 +128,25 @@ class ClusterClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
-        try:
-            self._conn.request(method, path, body=body, headers=headers)
-            response = self._conn.getresponse()
-            raw = response.read()
-        except (http.client.HTTPException, OSError):
-            # Stale keep-alive connection: reconnect once.
-            self._conn.close()
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
-            self._conn.request(method, path, body=body, headers=headers)
-            response = self._conn.getresponse()
-            raw = response.read()
+        attempts = 2 + max(0, self.retries)
+        response = raw = None
+        for attempt in range(attempts):
+            if attempt >= 2:
+                retry = attempt - 1  # paid retries are 1-based
+                self._sleep(
+                    min(
+                        self.retry_max_delay,
+                        self.retry_base_delay
+                        * self.retry_multiplier ** (retry - 1),
+                    )
+                )
+            try:
+                response, raw = self._send(method, path, body, headers)
+                break
+            except (http.client.HTTPException, OSError):
+                self._reset_conn()
+                if attempt == attempts - 1:
+                    raise
         self.last_request_id = response.getheader("X-Request-Id", request_id)
         if response.status == 429:
             retry_after = float(response.getheader("Retry-After", "1") or "1")
@@ -203,3 +254,13 @@ class ClusterClient:
         """The health body — returned (not raised) even on 503, so the
         per-shard liveness detail is available when a shard is down."""
         return self._request("GET", "/healthz", accept=(503,))
+
+    def shard_states(self) -> dict[int, str]:
+        """Per-shard lifecycle states from ``/healthz``: ``up`` /
+        ``recovering`` (supervisor still respawning) / ``down``
+        (permanently shed).  Falls back to the boolean ``up`` field when
+        talking to an edge that predates the tri-state."""
+        return {
+            s["shard"]: s.get("state", "up" if s.get("up") else "down")
+            for s in self.healthz()["shards"]
+        }

@@ -127,6 +127,9 @@ class ClusterHttpServer:
             self._access_log = access_log if callable(access_log) else None
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        #: While draining, new sessions are refused (503 + Retry-After);
+        #: everything else — advances, polls, observability — still runs.
+        self._draining = False
         self._rejected = router.registry.counter(
             "repro_cluster_http_rejected_total",
             "Requests shed by admission control (HTTP 429)",
@@ -218,6 +221,32 @@ class ClusterHttpServer:
             raise RuntimeError(f"edge failed to bind on {self.host}:{self.port}")
         return self
 
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful-shutdown step one: stop new sessions, finish in-flight.
+
+        Flips the edge into draining mode — ``POST /sessions`` answers
+        503 with a ``Retry-After`` hint from then on, while in-flight
+        and follow-up requests (advances, polls, observability) keep
+        working — and waits up to ``timeout`` seconds for the in-flight
+        count to reach zero.  Returns True once drained; the caller then
+        runs the normal shutdown (final telemetry pull, trace export,
+        :meth:`close`).  ``repro serve`` drives this from its SIGTERM
+        handler.
+        """
+        self._draining = True
+        deadline = time.monotonic() + float(timeout)
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    return True
+            time.sleep(0.01)
+        with self._inflight_lock:
+            return self._inflight == 0
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     def close(self) -> None:
         """Stop accepting, drain the pool, and shut the router down."""
         loop, server = self._loop, self._server
@@ -238,27 +267,48 @@ class ClusterHttpServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        if self.telemetry_interval > 0:
+        if self.telemetry_interval > 0 or self.router.supervisor is not None:
             self._telemetry_task = asyncio.get_running_loop().create_task(
-                self._federate_forever()
+                self._periodic_forever()
             )
 
-    async def _federate_forever(self) -> None:
-        """Periodically pull shard telemetry so scrapes read a warm cache.
+    async def _periodic_forever(self) -> None:
+        """The edge's periodic task: supervision ticks + telemetry pulls.
 
-        Runs on the edge's event loop but does the pulling on the thread
-        pool — a slow or dying shard never stalls request handling.
-        ``max_age`` of half the period keeps an interleaved on-demand
-        scrape from causing a double pull.
+        Runs on the edge's event loop but does the work on the thread
+        pool — a slow or dying shard never stalls request handling.  The
+        loop wakes at the supervisor's (faster) cadence when one is
+        attached, ticking it every wake — dead-shard detection, backoff
+        bookkeeping, and due respawns all live inside ``tick`` — while
+        telemetry pulls keep firing at ``telemetry_interval``
+        (``max_age`` of half the period keeps an interleaved on-demand
+        scrape from causing a double pull).
         """
-        max_age = self.telemetry_interval / 2.0
+        supervisor = self.router.supervisor
+        pull_every = self.telemetry_interval
+        max_age = pull_every / 2.0
+        period = pull_every
+        if supervisor is not None:
+            period = (
+                min(period, supervisor.poll_interval)
+                if period > 0
+                else supervisor.poll_interval
+            )
+        loop = asyncio.get_running_loop()
+        next_pull = (
+            time.monotonic() + pull_every if pull_every > 0 else None
+        )
         while True:
-            await asyncio.sleep(self.telemetry_interval)
+            await asyncio.sleep(period)
             try:
-                await asyncio.get_running_loop().run_in_executor(
-                    self._pool,
-                    lambda: self.router.pull_telemetry(max_age=max_age),
-                )
+                if supervisor is not None:
+                    await loop.run_in_executor(self._pool, supervisor.tick)
+                if next_pull is not None and time.monotonic() >= next_pull:
+                    await loop.run_in_executor(
+                        self._pool,
+                        lambda: self.router.pull_telemetry(max_age=max_age),
+                    )
+                    next_pull = time.monotonic() + pull_every
             except asyncio.CancelledError:
                 raise
             except Exception:  # noqa: BLE001 - a lost shard is shed inside
@@ -479,11 +529,18 @@ class ClusterHttpServer:
             )
             health["inflight"] = self._inflight
             health["max_inflight"] = self.max_inflight
+            health["draining"] = self._draining
             return (200 if health["ok"] else 503), health, \
                 "application/json", ()
 
         if path == "/sessions":
             if method == "POST":
+                if self._draining:
+                    raise _HttpError(
+                        503,
+                        "edge is draining; not accepting new sessions",
+                        headers=(("Retry-After", f"{self.retry_after:g}"),),
+                    )
                 payload = self._json(body)
                 try:
                     created = await self._call(

@@ -28,7 +28,11 @@ Shard outages degrade, never crash: a worker that stops answering is
 *shed* — every session's still-pending keys owned by that shard are
 marked skipped, which keeps ``worst_case_bound()`` a valid Theorem-1
 upper bound exactly as in ``docs/RESILIENCE.md`` — and the surviving
-shards keep serving.
+shards keep serving.  With a :class:`~repro.cluster.supervise.ShardSupervisor`
+attached, a shed is not final: the supervisor respawns the worker and
+:meth:`ClusterRouter.reintegrate_shard` replays the session journal onto
+it and re-drives the skipped keys through :meth:`ClusterRouter.retry_skipped`,
+healing the cluster back to bit-exact answers.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ import numpy as np
 
 from repro.cluster.codec import encode_session_status
 from repro.cluster.partition import Partitioner
+from repro.cluster.supervise import SHARD_STATE_VALUES
 from repro.cluster.worker import DELIVER, ShardLostError
 from repro.core.penalties import Penalty
 from repro.core.session import DEFAULT_CHUNK, ProgressiveSession
@@ -179,6 +184,25 @@ class ClusterRouter:
             "repro_cluster_telemetry_pulls_total",
             "Telemetry federation pulls completed by the router",
         )
+        self._shard_restarts = self.registry.counter(
+            "repro_cluster_shard_restarts_total",
+            "Shard worker restart attempts, by outcome "
+            "(respawned, failed, gave_up)",
+            ("shard", "outcome"),
+        )
+        self._sessions_replayed = self.registry.counter(
+            "repro_cluster_sessions_replayed_total",
+            "Session registrations replayed onto respawned shard workers",
+        )
+        self._shard_state = self.registry.gauge(
+            "repro_cluster_shard_state",
+            "Shard lifecycle state (0=up, 1=recovering, 2=down)",
+            ("shard",),
+        )
+        #: The attached ShardSupervisor (None = outages shed permanently).
+        self.supervisor = None
+        #: Recovery epoch: bumped once per successful reintegration.
+        self._recovery_epoch = 0
         #: Per-shard round-trip window backing the /status p50/p99.
         self._rtt: dict[int, deque] = {}
         #: Monotonic timestamp of each shard's last successful reply.
@@ -188,6 +212,7 @@ class ClusterRouter:
         self._telemetry: dict[int, dict] = {}
         for index in self._shards:
             self._shard_up.set(1, shard=str(index))
+            self._shard_state.set(SHARD_STATE_VALUES["up"], shard=str(index))
 
     # ------------------------------------------------------------------
     # Client surface (mirrors ProgressiveQueryService)
@@ -383,6 +408,122 @@ class ClusterRouter:
                 requeued += int(mask.sum())
             return requeued
 
+    # ------------------------------------------------------------------
+    # Supervision and recovery
+    # ------------------------------------------------------------------
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Enable self-healing: shed shards become ``recovering``."""
+        with self._lock:
+            self.supervisor = supervisor
+
+    def shard_handles(self) -> dict[int, object]:
+        """Live shard handles by index (a snapshot; supervision reads it)."""
+        with self._lock:
+            return {
+                index: shard
+                for index, shard in self._shards.items()
+                if index not in self._dead
+            }
+
+    def dead_shards(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(sorted(self._dead))
+
+    def mark_lost(self, index: int, reason: str = "") -> None:
+        """Shed a shard the supervisor (or a test) found dead."""
+        with self._lock:
+            self._shed_shard(index)
+
+    def ping(self, index: int) -> bool:
+        """Heartbeat probe; a failed probe sheds the shard."""
+        with self._lock:
+            if index in self._dead:
+                return False
+            try:
+                self._call(index, "ping")
+            except ShardLostError:
+                self._shed_shard(index)
+                return False
+            return True
+
+    def last_reply_age(self, index: int) -> float | None:
+        """Seconds since the shard's last successful reply (None = never)."""
+        with self._lock:
+            last = self._last_reply.get(index)
+            return time.monotonic() - last if last is not None else None
+
+    def record_restart(self, index: int, outcome: str) -> None:
+        """Count a restart attempt; ``gave_up`` pins the shard ``down``."""
+        with self._lock:
+            self._shard_restarts.inc(shard=str(index), outcome=outcome)
+            if outcome == "gave_up":
+                self._shard_state.set(
+                    SHARD_STATE_VALUES["down"], shard=str(index)
+                )
+
+    def shard_state(self, index: int) -> str:
+        """The shard's lifecycle state: ``up`` / ``recovering`` / ``down``."""
+        with self._lock:
+            return self._shard_state_name(index)
+
+    def reintegrate_shard(self, index: int, shard) -> tuple[int, int]:
+        """Swap a fresh worker in for a shed shard and heal the sessions.
+
+        The recovery pipeline's commit point (the supervisor calls this
+        after its respawn probe succeeded): the new handle replaces the
+        dead one, the session journal — every live session's pending
+        slice owned by this shard, which is empty right after a shed
+        because the keys sit in the skipped sets — is replayed onto the
+        fresh worker so each session is registered there again, the
+        shard is un-shed, and every session's skipped keys are re-driven
+        through the existing :meth:`retry_skipped` path.  Served keys
+        are never re-registered (the authoritative sessions already hold
+        their coefficients), so once the heal drains the answers are
+        bit-identical to a never-crashed run.  Returns ``(sessions
+        replayed, keys re-queued)``.
+        """
+        with self._lock, span("cluster.reintegrate", shard=index):
+            if index not in self._shards:
+                raise KeyError(f"unknown shard {index}")
+            if index not in self._dead:
+                raise ValueError(f"shard {index} is not down")
+            self._shards[index] = shard
+            self._dead.discard(index)
+            self._rtt.pop(index, None)
+            self._tops[index] = None
+            replayed = 0
+            try:
+                for session_id, record in sorted(self._sessions.items()):
+                    keys, iotas = record.session.pending()
+                    if keys.size:
+                        owned = self.partitioner.shard_of(keys) == index
+                        sub_keys, sub_iotas = keys[owned], iotas[owned]
+                    else:
+                        sub_keys, sub_iotas = keys, iotas
+                    self._tops[index] = self._call(
+                        index, "register", session_id, sub_keys, sub_iotas
+                    )
+                    record.shard_ids = tuple(
+                        sorted(set(record.shard_ids) | {index})
+                    )
+                    replayed += 1
+            except ShardLostError:
+                # The fresh worker died mid-replay: back to shed, and the
+                # supervisor counts this attempt as failed.
+                self._shed_shard(index)
+                raise
+            if replayed:
+                self._sessions_replayed.inc(replayed)
+            self._shard_restarts.inc(shard=str(index), outcome="respawned")
+            self._shard_up.set(1, shard=str(index))
+            self._shard_state.set(SHARD_STATE_VALUES["up"], shard=str(index))
+            self._recovery_epoch += 1
+            requeued = 0
+            for session_id in sorted(self._sessions):
+                requeued += self.retry_skipped(session_id)
+            return replayed, requeued
+
     def cancel(self, session_id: str) -> None:
         """Close a session on the router and every shard that holds it."""
         with self._lock:
@@ -571,6 +712,7 @@ class ClusterRouter:
                 shards[str(index)] = {
                     "shard": index,
                     "alive": index not in self._dead,
+                    "state": self._shard_state_name(index),
                     "pid": payload.get("pid"),
                     "last_reply_age_s": (
                         now - last if last is not None else None
@@ -586,6 +728,8 @@ class ClusterRouter:
                 "shards": shards,
                 "live_sessions": len(self._sessions),
                 "shed_shards": sorted(self._dead),
+                "recovery_epoch": self._recovery_epoch,
+                "supervised": self.supervisor is not None,
                 "partitioner": self.partitioner.describe(),
             }
 
@@ -595,7 +739,8 @@ class ClusterRouter:
         ``ok`` rolls up to False as soon as any shard has been shed —
         the edge maps that to HTTP 503 so a load balancer can rotate the
         replica out; the per-shard entries carry the detail (id,
-        liveness, seconds since the last successful pipe reply).
+        liveness, lifecycle ``state`` — ``up`` / ``recovering`` /
+        ``down`` — and seconds since the last successful pipe reply).
         """
         with self._lock:
             now = time.monotonic()
@@ -607,6 +752,7 @@ class ClusterRouter:
                         "shard": index,
                         "up": index not in self._dead,
                         "alive": index not in self._dead,
+                        "state": self._shard_state_name(index),
                         "last_reply_age_s": (
                             now - last if last is not None else None
                         ),
@@ -636,6 +782,9 @@ class ClusterRouter:
     def close(self) -> None:
         """Shut down every shard worker; idempotent."""
         with self._lock:
+            # Detach supervision first: a closed cluster must never be
+            # "recovering", and a late tick must not respawn workers.
+            self.supervisor = None
             for index, shard in self._shards.items():
                 if index not in self._dead:
                     shard.close()
@@ -680,6 +829,16 @@ class ClusterRouter:
             raise KeyError(
                 f"unknown or cancelled session {session_id!r}"
             ) from None
+
+    def _shard_state_name(self, index: int) -> str:
+        """Lifecycle name under the router lock (no supervisor lock —
+        the supervisor's membership reads are lock-free by design)."""
+        if index not in self._dead:
+            return "up"
+        supervisor = self.supervisor
+        if supervisor is not None and supervisor.is_recovering(index):
+            return "recovering"
+        return "down"
 
     def _best_shard(self) -> int | None:
         """The live shard holding the globally most important entry."""
@@ -748,6 +907,10 @@ class ClusterRouter:
         self._tops[index] = None
         self._shards_lost.inc()
         self._shard_up.set(0, shard=str(index))
+        self._shard_state.set(
+            SHARD_STATE_VALUES[self._shard_state_name(index)],
+            shard=str(index),
+        )
         shard = self._shards[index]
         close = getattr(shard, "_abandon", None)
         if close is not None:

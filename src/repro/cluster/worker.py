@@ -231,6 +231,12 @@ class ShardWorker:
 
     # -- observability ---------------------------------------------------
 
+    def ping(self) -> dict:
+        """Liveness probe: proves the command loop answers (supervision
+        uses it before reintegrating a respawned worker, and as the
+        heartbeat check on a shard that has gone quiet)."""
+        return {"shard": self.shard, "pid": os.getpid()}
+
     def stats(self) -> dict:
         """Shard-local counters, page-cache state, and per-session costs."""
         m = self.scheduler.metrics
@@ -414,6 +420,11 @@ class InlineShard:
         self.shard = worker.shard
         self.alive = True
 
+    @property
+    def process_alive(self) -> bool:
+        """No backing process: the handle's liveness is the worker's."""
+        return self.alive
+
     def call(self, method: str, *args):
         if not self.alive:
             raise ShardLostError(self.shard, "shard already closed")
@@ -436,6 +447,13 @@ class ProcessShard:
         self.shard = int(shard)
         self.timeout = float(timeout)
         self.alive = True
+
+    @property
+    def process_alive(self) -> bool:
+        """True while the worker process itself is running — catches a
+        SIGKILLed worker *before* any pipe traffic would (supervision's
+        silent-death detector polls this)."""
+        return self.alive and self._process.is_alive()
 
     def call(self, method: str, *args):
         if not self.alive:
@@ -493,6 +511,45 @@ class ProcessShard:
         self._process.join(5.0)
 
 
+def spawn_shard(
+    paged_path,
+    index: int,
+    buffer_pages: int = 64,
+    shared: bool = True,
+    chaos: dict | None = None,
+    timeout: float = 30.0,
+    start_method: str = "spawn",
+    trace: bool = False,
+) -> ProcessShard:
+    """Spawn one shard worker process (also the supervisor's respawn unit).
+
+    The same spec :func:`start_shard_processes` builds per shard — path,
+    buffering, optional per-shard chaos, tracing — so a respawned worker
+    is indistinguishable from the original: it maps the same shared
+    paged file and will be re-sent its key subsets by the router's
+    journal replay.
+    """
+    ctx = mp.get_context(start_method)
+    spec = {
+        "path": str(paged_path),
+        "buffer_pages": buffer_pages,
+        "shared": shared,
+        "shard": int(index),
+        "trace": bool(trace),
+        "chaos": chaos,
+    }
+    parent, child = ctx.Pipe()
+    process = ctx.Process(
+        target=shard_worker_main,
+        args=(child, spec),
+        name=f"repro-shard-{index}",
+        daemon=True,
+    )
+    process.start()
+    child.close()
+    return ProcessShard(process, parent, index, timeout=timeout)
+
+
 def start_shard_processes(
     paged_path,
     num_shards: int,
@@ -513,30 +570,23 @@ def start_shard_processes(
     ``trace`` turns span recording on inside each worker process so
     telemetry pulls can ship the spans back for a merged Chrome trace.
     """
-    ctx = mp.get_context(start_method)
     shards: list[ProcessShard] = []
     try:
         for index in range(num_shards):
-            spec = {
-                "path": str(paged_path),
-                "buffer_pages": buffer_pages,
-                "shared": shared,
-                "shard": index,
-                "trace": bool(trace),
-                "chaos": chaos
-                if chaos_shard is None or chaos_shard == index
-                else None,
-            }
-            parent, child = ctx.Pipe()
-            process = ctx.Process(
-                target=shard_worker_main,
-                args=(child, spec),
-                name=f"repro-shard-{index}",
-                daemon=True,
+            shards.append(
+                spawn_shard(
+                    paged_path,
+                    index,
+                    buffer_pages=buffer_pages,
+                    shared=shared,
+                    chaos=chaos
+                    if chaos_shard is None or chaos_shard == index
+                    else None,
+                    timeout=timeout,
+                    start_method=start_method,
+                    trace=trace,
+                )
             )
-            process.start()
-            child.close()
-            shards.append(ProcessShard(process, parent, index, timeout=timeout))
     except BaseException:
         for shard in shards:
             shard.close()

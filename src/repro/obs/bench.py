@@ -259,7 +259,11 @@ def run_service_scenarios(seed: int = 0) -> dict:
     # (hash partitioner, shared paged file).  Counters are deterministic:
     # the N-shard merge serves the exact single-process order, so
     # retrievals/deliveries are pure functions of the seeds — and the
-    # per-shard split is fixed by the Fibonacci hash.
+    # per-shard split is fixed by the Fibonacci hash.  Supervision is
+    # attached and ticked between sessions: on healthy shards a tick
+    # fetches nothing and delivers nothing, so the counters must stay
+    # exactly at the unsupervised baseline (the bench gates ISSUE 9's
+    # "no-fault supervision is free" claim).
     import tempfile
     from pathlib import Path as _Path
 
@@ -272,6 +276,7 @@ def run_service_scenarios(seed: int = 0) -> dict:
             2,
             process_shards=False,
             buffer_pages=32,
+            supervise=True,
         )
         try:
             cluster_batches = [
@@ -284,6 +289,7 @@ def run_service_scenarios(seed: int = 0) -> dict:
             cluster_ids = [router.submit(batch) for batch in cluster_batches]
             for session_id in cluster_ids:
                 router.run_to_completion(session_id)
+                router.supervisor.tick()
             cluster_metrics = router.metrics()
             accounts = [
                 router._sessions[session_id].session.costs

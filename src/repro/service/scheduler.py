@@ -282,6 +282,13 @@ class SharedRetrievalScheduler:
         with self._lock:
             reg = self._registrations[sid]
             reg.epoch += 1
+            # Re-declare interest for the current pending set: keys that
+            # entered it since registration (un-skipped after a heal, or
+            # restored onto a respawned cluster shard) must route their
+            # eventual delivery back to this session.
+            keys, _ = reg.session.pending()
+            for key in keys.tolist():
+                self._interest.setdefault(key, set()).add(sid)
             self._prune_session_entries(sid)
             self._push_pending(sid, reg)
 

@@ -188,6 +188,9 @@ class TestObservability:
             health = client.healthz()
             assert not health["ok"]
             assert [s["up"] for s in health["shards"]] == [True, False]
+            # Unsupervised: the tri-state collapses to up/down.
+            assert [s["state"] for s in health["shards"]] == ["up", "down"]
+            assert client.shard_states() == {0: "up", 1: "down"}
             import http.client
 
             conn = http.client.HTTPConnection(
